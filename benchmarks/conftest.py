@@ -1,0 +1,41 @@
+"""Shared benchmark helpers.
+
+Every benchmark prints its reproduced table/figure (visible with ``-s``)
+and archives it under ``benchmarks/_results/`` so EXPERIMENTS.md can be
+assembled from actual runs.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.experiments.report import format_table
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "_results"
+
+
+@pytest.fixture
+def show():
+    """Print and archive an experiment's rows."""
+
+    def _show(rows, title: str, float_digits: int = 2) -> None:
+        rendered = format_table(rows, title=title, float_digits=float_digits)
+        print()
+        print(rendered)
+        RESULTS_DIR.mkdir(exist_ok=True)
+        slug = title.split(":")[0].strip().lower().replace(" ", "_")
+        (RESULTS_DIR / f"{slug}.txt").write_text(rendered + "\n")
+
+    return _show
+
+
+def once(benchmark, func, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing.
+
+    Experiment drivers are deterministic whole-figure reproductions;
+    repeating them for statistical timing would multiply minutes of work
+    for no extra information.
+    """
+    return benchmark.pedantic(func, kwargs=kwargs, rounds=1, iterations=1)

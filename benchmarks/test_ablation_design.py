@@ -1,0 +1,220 @@
+"""Ablations of HeteroOS's own design choices.
+
+Each bench removes one mechanism the paper argues for and measures what
+it was buying:
+
+* the Equation 1 adaptive interval vs. fixed fast/slow intervals,
+* the exception list (not tracking short-lived I/O) vs. tracking all,
+* eager HeteroOS-LRU eviction vs. the stock lazy reclaim,
+* weighted DRF vs. unweighted DRF (the FastMem weight of Section 4.2).
+"""
+
+from conftest import once
+
+from repro.core.coordinated import CoordinatedPolicy
+from repro.core.hetero_lru import HeteroLruPolicy
+from repro.guestos.numa import NodeTier
+from repro.mem.extent import PageType
+from repro.sim.engine import SimulationEngine
+from repro.sim.runner import build_config, run_experiment
+from repro.sim.multi_vm import MultiVmSimulation
+from repro.experiments.sharing import fig13_devices, fig13_vmspecs
+from repro.vmm.drf import WeightedDrf
+from repro.workloads.registry import make_workload
+
+
+# ----------------------------------------------------------------------
+# A: Equation 1 adaptive interval
+# ----------------------------------------------------------------------
+
+def run_eq1_ablation() -> list[dict]:
+    rows = []
+    scenarios = {
+        "adaptive (Eq. 1)": CoordinatedPolicy(initial_interval_ms=100.0),
+        "fixed 50ms": CoordinatedPolicy(
+            initial_interval_ms=50.0, min_interval_ms=50.0,
+            max_interval_ms=50.0,
+        ),
+        "fixed 1000ms": CoordinatedPolicy(
+            initial_interval_ms=1000.0, min_interval_ms=1000.0,
+            max_interval_ms=1000.0,
+        ),
+    }
+    for label, policy in scenarios.items():
+        engine = SimulationEngine(
+            build_config(fast_ratio=0.125), make_workload("graphchi"), policy
+        )
+        result = engine.run(200)
+        rows.append(
+            {
+                "interval": label,
+                "runtime_sec": result.runtime_sec,
+                "scan_cost_sec": result.scan_cost_ns / 1e9,
+                "pages_migrated": result.pages_migrated,
+            }
+        )
+    return rows
+
+
+def test_ablation_eq1_interval(benchmark, show):
+    rows = once(benchmark, run_eq1_ablation)
+    show(rows, "Ablation D: Equation 1 adaptive tracking interval")
+
+    by_label = {row["interval"]: row for row in rows}
+    adaptive = by_label["adaptive (Eq. 1)"]
+    fast = by_label["fixed 50ms"]
+    slow = by_label["fixed 1000ms"]
+    # Always-fast scanning pays more scan cost than adaptive.
+    assert adaptive["scan_cost_sec"] <= fast["scan_cost_sec"] * 1.05
+    # Adaptive stays within a few percent of the better fixed setting.
+    best_fixed = min(fast["runtime_sec"], slow["runtime_sec"])
+    assert adaptive["runtime_sec"] <= best_fixed * 1.05
+
+
+# ----------------------------------------------------------------------
+# B: the exception list
+# ----------------------------------------------------------------------
+
+class TrackEverythingPolicy(CoordinatedPolicy):
+    """Coordinated management *without* the Section 4.1 exception list:
+    short-lived I/O regions are published for tracking too."""
+
+    name = "hetero-coordinated-noexc"
+
+    def _publish_tracking(self, channel) -> float:
+        kernel = self.kernel
+        tracked = [
+            region_id
+            for region_id in kernel.live_regions()
+            for extent in kernel.region_extents(region_id)[:1]
+            if extent.page_type
+            in (PageType.HEAP, PageType.PAGE_CACHE, PageType.BUFFER_CACHE)
+        ]
+        channel.guest_publish_tracking(tracked, exception_types=set())
+        return 0.0
+
+
+def run_exception_list_ablation() -> list[dict]:
+    rows = []
+    for label, policy in (
+        ("with exception list", CoordinatedPolicy()),
+        ("tracking everything", TrackEverythingPolicy()),
+    ):
+        engine = SimulationEngine(
+            build_config(fast_ratio=0.125), make_workload("xstream"), policy
+        )
+        result = engine.run(160)
+        rows.append(
+            {
+                "variant": label,
+                "runtime_sec": result.runtime_sec,
+                "scan_cost_sec": result.scan_cost_ns / 1e9,
+            }
+        )
+    return rows
+
+
+def test_ablation_exception_list(benchmark, show):
+    rows = once(benchmark, run_exception_list_ablation)
+    show(rows, "Ablation E: tracking exception list (X-Stream)")
+
+    by_label = {row["variant"]: row for row in rows}
+    with_list = by_label["with exception list"]
+    without = by_label["tracking everything"]
+    # Tracking the page-cache churn costs scan budget for nothing:
+    # excepting it is never worse and saves scan work.
+    assert with_list["runtime_sec"] <= without["runtime_sec"] * 1.02
+    assert with_list["scan_cost_sec"] <= without["scan_cost_sec"] * 1.02
+
+
+# ----------------------------------------------------------------------
+# C: eager vs lazy reclaim
+# ----------------------------------------------------------------------
+
+def run_eager_eviction_ablation() -> list[dict]:
+    rows = []
+    for label, policy in (
+        ("eager (HeteroOS-LRU)", HeteroLruPolicy(fast_free_target=0.1)),
+        ("lazy (no free target)", HeteroLruPolicy(fast_free_target=0.0)),
+    ):
+        engine = SimulationEngine(
+            build_config(fast_ratio=0.125), make_workload("xstream"), policy
+        )
+        result = engine.run(160)
+        rows.append(
+            {
+                "variant": label,
+                "runtime_sec": result.runtime_sec,
+                "fastmem_miss_ratio": result.fastmem_miss_ratio(),
+            }
+        )
+    return rows
+
+
+def test_ablation_eager_eviction(benchmark, show):
+    rows = once(benchmark, run_eager_eviction_ablation)
+    show(rows, "Ablation F: eager FastMem eviction (X-Stream @ 1/8)")
+
+    by_label = {row["variant"]: row for row in rows}
+    eager = by_label["eager (HeteroOS-LRU)"]
+    lazy = by_label["lazy (no free target)"]
+    # The eager free-target keeps allocation misses down and wins.
+    assert eager["runtime_sec"] <= lazy["runtime_sec"] * 1.02
+    assert eager["fastmem_miss_ratio"] <= lazy["fastmem_miss_ratio"] + 0.02
+
+
+# ----------------------------------------------------------------------
+# D: DRF weights
+# ----------------------------------------------------------------------
+
+def run_drf_weight_ablation() -> list[dict]:
+    rows = []
+    for label, weights in (
+        ("weighted (fast x2)", None),  # Domain defaults: FAST=2, SLOW=1
+        ("unweighted", {NodeTier.FAST: 1.0, NodeTier.SLOW: 1.0}),
+    ):
+        specs = fig13_vmspecs("hetero-coordinated")
+        if weights is not None:
+            for spec in specs:
+                spec.weights.update(weights)
+        sim = MultiVmSimulation(
+            fig13_devices(), specs, sharing_policy=WeightedDrf()
+        )
+        results = sim.run(160)
+        shares = sim.hypervisor.sharing_policy.dominant_shares(
+            sim.hypervisor.machine,
+            list(sim.hypervisor.domains.values()),
+        )
+        names = {d.domain_id: d.name for d in sim.hypervisor.domains.values()}
+        rows.append(
+            {
+                "variant": label,
+                "graphchi_runtime_sec": results["graphchi-vm"].runtime_sec,
+                "metis_runtime_sec": results["metis-vm"].runtime_sec,
+                "metis_dominant_share": shares[
+                    next(i for i, n in names.items() if n == "metis-vm")
+                ],
+            }
+        )
+    return rows
+
+
+def test_ablation_drf_weights(benchmark, show):
+    rows = once(benchmark, run_drf_weight_ablation)
+    show(rows, "Ablation G: DRF FastMem weighting (Figure 13 scenario)")
+
+    by_label = {row["variant"]: row for row in rows}
+    weighted = by_label["weighted (fast x2)"]
+    unweighted = by_label["unweighted"]
+    # The FastMem weight is what makes the FastMem-hungry Metis VM the
+    # dominant consumer (Section 4.2's fix for "most VMs will always
+    # have SlowMem as the dominant resource").
+    assert (
+        weighted["metis_dominant_share"]
+        > unweighted["metis_dominant_share"]
+    )
+    # And the graphchi VM is no worse off under the weighted scheme.
+    assert (
+        weighted["graphchi_runtime_sec"]
+        <= unweighted["graphchi_runtime_sec"] * 1.05
+    )

@@ -1,0 +1,142 @@
+"""Ablations for the Section 4.3 extension policies.
+
+Not paper figures — these benches quantify the design choices DESIGN.md
+calls out for the future-work features the library implements:
+
+* NVM write-awareness vs. read-hotness-only placement on PCM,
+* three-tier (FAST/MEDIUM/SLOW) ladders vs. collapsing the middle tier,
+* bare-metal native tracking vs. the virtualized coordinated stack.
+"""
+
+from conftest import once
+
+from repro.core import make_policy
+from repro.guestos.numa import NodeTier
+from repro.hw.memdevice import DRAM, NVM_PCM, STACKED_3D
+from repro.sim.engine import SimulationEngine, build_custom_vm
+from repro.sim.runner import build_config, run_experiment
+from repro.units import GIB
+from repro.workloads.extensions import make_lsm_store, make_tiered_analytics
+from repro.workloads.registry import make_workload
+
+
+def run_nvm_write_ablation() -> list[dict]:
+    config = build_config(fast_ratio=0.1, slow_gib=4.0, slow_device=NVM_PCM)
+    rows = []
+    for policy in ("heap-od", "hetero-lru", "nvm-write-aware"):
+        result = run_experiment(make_lsm_store(), policy, config=config)
+        rows.append(
+            {
+                "policy": policy,
+                "runtime_sec": result.runtime_sec,
+                "write_promoted_pages": result.pages_migrated,
+            }
+        )
+    return rows
+
+
+def test_ablation_nvm_write_awareness(benchmark, show):
+    rows = once(benchmark, run_nvm_write_ablation)
+    show(rows, "Ablation A: write-aware placement on PCM (LSM store)")
+
+    by_policy = {row["policy"]: row for row in rows}
+    # Write-awareness promotes the write-hot log pages...
+    assert by_policy["nvm-write-aware"]["write_promoted_pages"] > 0
+    assert by_policy["hetero-lru"]["write_promoted_pages"] == 0
+    # ...and never loses to read-hotness-only placement on PCM.
+    assert (
+        by_policy["nvm-write-aware"]["runtime_sec"]
+        <= by_policy["hetero-lru"]["runtime_sec"] * 1.01
+    )
+    assert (
+        by_policy["hetero-lru"]["runtime_sec"]
+        <= by_policy["heap-od"]["runtime_sec"] * 1.01
+    )
+
+
+def _three_tier_devices():
+    return {
+        NodeTier.FAST: STACKED_3D.with_capacity(GIB // 2).with_name("fastmem"),
+        NodeTier.MEDIUM: DRAM.with_capacity(2 * GIB).with_name("mediummem"),
+        NodeTier.SLOW: NVM_PCM.with_capacity(8 * GIB).with_name("slowmem"),
+    }
+
+
+def run_multilevel_ablation() -> list[dict]:
+    rows = []
+    scenarios = {
+        "3-tier multi-level": (_three_tier_devices(), "multi-level"),
+        "3-tier hetero-lru": (_three_tier_devices(), "hetero-lru"),
+        "2-tier (no medium) hetero-lru": (
+            {
+                NodeTier.FAST: STACKED_3D.with_capacity(GIB // 2).with_name(
+                    "fastmem"
+                ),
+                NodeTier.SLOW: NVM_PCM.with_capacity(10 * GIB).with_name(
+                    "slowmem"
+                ),
+            },
+            "hetero-lru",
+        ),
+    }
+    for label, (devices, policy) in scenarios.items():
+        config = build_config(fast_ratio=0.25)
+        hypervisor, domain, kernel = build_custom_vm(devices, config)
+        engine = SimulationEngine(
+            config, make_tiered_analytics(), make_policy(policy),
+            hypervisor=hypervisor, domain=domain, kernel=kernel,
+        )
+        result = engine.run()
+        rows.append(
+            {
+                "scenario": label,
+                "runtime_sec": result.runtime_sec,
+                "pages_demoted": result.pages_demoted,
+            }
+        )
+    return rows
+
+
+def test_ablation_multilevel_ladder(benchmark, show):
+    rows = once(benchmark, run_multilevel_ablation)
+    show(rows, "Ablation B: multi-level memory ladder (3-tier analytics)")
+
+    by_label = {row["scenario"]: row for row in rows}
+    ladder = by_label["3-tier multi-level"]["runtime_sec"]
+    flat = by_label["3-tier hetero-lru"]["runtime_sec"]
+    two_tier = by_label["2-tier (no medium) hetero-lru"]["runtime_sec"]
+    # The page-type-aware ladder makes a medium tier pay off ...
+    assert ladder <= flat * 1.02
+    # ... and having the medium DRAM tier at all beats stacked+PCM only.
+    assert ladder < two_tier
+
+
+def run_native_ablation() -> list[dict]:
+    rows = []
+    for policy in ("hetero-lru", "hetero-coordinated", "hetero-native"):
+        result = run_experiment(
+            make_workload("graphchi"), policy, fast_ratio=0.125, epochs=200
+        )
+        rows.append(
+            {
+                "policy": policy,
+                "runtime_sec": result.runtime_sec,
+                "pages_migrated": result.pages_migrated,
+            }
+        )
+    return rows
+
+
+def test_ablation_native_mode(benchmark, show):
+    rows = once(benchmark, run_native_ablation)
+    show(rows, "Ablation C: bare-metal native tracking vs virtualized")
+
+    by_policy = {row["policy"]: row for row in rows}
+    native = by_policy["hetero-native"]["runtime_sec"]
+    coordinated = by_policy["hetero-coordinated"]["runtime_sec"]
+    lru = by_policy["hetero-lru"]["runtime_sec"]
+    # The bare-metal port keeps the coordinated stack's benefits
+    # (Section 4.3: "it can be easily applied to non-virtualized
+    # systems").
+    assert native <= lru * 1.05
+    assert abs(native - coordinated) / coordinated < 0.15

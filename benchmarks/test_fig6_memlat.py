@@ -1,0 +1,30 @@
+"""Figure 6: memlat average latency vs working-set size (0.5 GB FastMem)."""
+
+from conftest import once
+
+from repro.experiments import run_fig6
+
+
+def test_fig6_memlat(benchmark, show):
+    rows = once(benchmark, run_fig6)
+    show(rows, "Figure 6: memlat latency (cycles) vs WSS", float_digits=0)
+
+    by_wss = {row["wss_gib"]: row for row in rows}
+    small, boundary, big = by_wss[0.25], by_wss[0.5], by_wss[2.0]
+
+    for row in rows:
+        # FastMem-only is the floor, SlowMem-only the ceiling.
+        assert row["fastmem-only"] <= min(
+            row[p] for p in ("random", "heap-od", "vmm-exclusive")
+        ) * 1.02
+        assert row["slowmem-only"] >= row["heap-od"]
+        # Random sits between the extremes once placement matters.
+        assert row["fastmem-only"] <= row["random"] <= row["slowmem-only"] * 1.02
+
+    # On-demand allocation is ideal while the WSS fits FastMem ...
+    assert small["heap-od"] <= small["fastmem-only"] * 1.1
+    # ... and degrades gracefully beyond it.
+    assert big["heap-od"] > boundary["heap-od"] * 1.5
+    assert big["heap-od"] < big["slowmem-only"]
+    # VMM-exclusive pays migration even for small working sets.
+    assert small["vmm-exclusive"] > small["heap-od"] * 1.5

@@ -1,0 +1,31 @@
+"""Figure 7: Stream bandwidth vs working-set size (0.5 GB FastMem)."""
+
+from conftest import once
+
+from repro.experiments import run_fig7
+
+
+def test_fig7_stream(benchmark, show):
+    rows = once(benchmark, run_fig7)
+    show(rows, "Figure 7: Stream bandwidth (GB/s)")
+
+    by_wss = {row["wss_gib"]: row for row in rows}
+    fits, exceeds = by_wss[0.5], by_wss[1.5]
+
+    for row in rows:
+        # FastMem-only is the ceiling, SlowMem-only the floor.
+        assert row["fastmem-only"] >= row["heap-od"] * 0.98
+        assert row["slowmem-only"] <= row["heap-od"] * 1.02
+        assert (
+            row["slowmem-only"] * 0.98
+            <= row["random"]
+            <= row["fastmem-only"] * 1.02
+        )
+
+    # On-demand allocation achieves near-ideal bandwidth when the WSS
+    # fits FastMem, then falls toward SlowMem beyond it.
+    assert fits["heap-od"] > 0.8 * fits["fastmem-only"]
+    assert exceeds["heap-od"] < 0.5 * exceeds["fastmem-only"]
+    # Migration-only management never reaches on-demand bandwidth for the
+    # fitting working set.
+    assert fits["vmm-exclusive"] < fits["heap-od"]

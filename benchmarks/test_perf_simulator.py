@@ -1,0 +1,67 @@
+"""Performance benchmarks of the simulator itself.
+
+Unlike the figure benches (which run once and assert shapes), these are
+real multi-round pytest-benchmark timings of the hot data structures —
+the numbers that matter when someone scales the simulator up.
+"""
+
+from repro.core import make_policy
+from repro.guestos.buddy import BuddyAllocator
+from repro.hw.cache import CacheConfig, LastLevelCache, RegionAccess
+from repro.mem.frames import FramePool
+from repro.sim.engine import SimulationEngine
+from repro.sim.runner import build_config
+from repro.units import MIB
+from repro.workloads.registry import make_workload
+
+
+def test_perf_buddy_alloc_free_cycle(benchmark):
+    buddy = BuddyAllocator(0, 262144)  # 1 GiB span
+
+    def cycle():
+        ranges = buddy.allocate_pages(5000)
+        for frame_range in ranges:
+            buddy.free_span(frame_range.start, frame_range.count)
+
+    benchmark(cycle)
+    buddy.check_invariants()
+
+
+def test_perf_frame_pool_scattered(benchmark):
+    pool = FramePool(0, 262144)
+
+    def cycle():
+        ranges = pool.allocate_scattered(10000)
+        for frame_range in ranges:
+            pool.free(frame_range)
+
+    benchmark(cycle)
+    pool.check_invariants()
+
+
+def test_perf_cache_apportion(benchmark):
+    cache = LastLevelCache(CacheConfig(capacity_bytes=16 * MIB))
+    regions = [
+        RegionAccess(f"r{i}", (i + 1) * MIB, 1000.0 * (i + 1), 300.0, 0.7)
+        for i in range(64)
+    ]
+    results = benchmark(cache.apportion, regions)
+    assert len(results) == 64
+
+
+def test_perf_engine_epoch_throughput(benchmark):
+    """Whole-engine epochs per second on the heaviest workload."""
+    engine = SimulationEngine(
+        build_config(fast_ratio=0.25),
+        make_workload("graphchi"),
+        make_policy("hetero-lru"),
+    )
+    stream = make_workload("graphchi").epochs(10**9)
+    # Warm up allocations so steady-state epochs are measured.
+    for _ in range(4):
+        engine.step(next(stream))
+
+    def one_epoch():
+        engine.step(next(stream))
+
+    benchmark(one_epoch)

@@ -1,0 +1,22 @@
+"""Table 1: heterogeneous memory characteristics."""
+
+from conftest import once
+
+from repro.experiments import run_table1
+
+
+def test_table1_devices(benchmark, show):
+    rows = once(benchmark, run_table1)
+    show(rows, "Table 1: heterogeneous memory characteristics")
+
+    by_name = {row["device"]: row for row in rows}
+    stacked, dram, nvm = by_name["stacked-3d"], by_name["dram"], by_name["nvm-pcm"]
+    # Latency ordering: stacked < DRAM < NVM; NVM stores slower than loads.
+    assert stacked["load_ns"] < dram["load_ns"] < nvm["load_ns"]
+    assert nvm["store_ns"] > nvm["load_ns"]
+    # Bandwidth ordering: stacked > DRAM > NVM (8x-14x and 10x gaps).
+    assert stacked["bw_gbps"] > 5 * dram["bw_gbps"]
+    assert dram["bw_gbps"] > 5 * nvm["bw_gbps"]
+    # Density ordering: NVM >> DRAM > stacked.
+    assert nvm["density_x"] >= 16 * dram["density_x"]
+    assert stacked["density_x"] < dram["density_x"]

@@ -1,0 +1,26 @@
+"""Table 3: DRAM throttling calibration points."""
+
+from conftest import once
+
+from repro.experiments import run_table3
+from repro.hw.throttle import ThrottleConfig, throttled_device
+
+
+def test_table3_throttle(benchmark, show):
+    rows = once(benchmark, run_table3)
+    show(rows, "Table 3: throttle configurations")
+
+    by_config = {row["config"]: row for row in rows}
+    # Exact paper values at the calibration points.
+    assert by_config["L:1,B:1"]["latency_ns"] == 60.0
+    assert by_config["L:1,B:1"]["bw_gbps"] == 24.0
+    assert by_config["L:2,B:2"]["latency_ns"] == 128.0
+    assert by_config["L:5,B:5"]["latency_ns"] == 354.0
+    assert by_config["L:5,B:12"]["latency_ns"] == 960.0
+    assert by_config["L:5,B:12"]["bw_gbps"] == 1.38
+
+    # Interpolated settings used by the evaluation fall between anchors.
+    for bandwidth_factor in (7, 9):
+        device = throttled_device(ThrottleConfig(5, bandwidth_factor))
+        assert 354.0 < device.load_latency_ns < 960.0
+        assert 1.38 < device.bandwidth_gbps < 5.1

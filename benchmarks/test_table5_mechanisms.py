@@ -1,0 +1,25 @@
+"""Table 5: the HeteroOS incremental mechanism ladder.
+
+Verifies the ladder exists in the registry and that each increment is
+implemented as a refinement of the previous one (subclassing — each level
+carries everything below it, matching the paper's "incremental" framing).
+"""
+
+from conftest import once
+
+from repro.core import make_policy
+from repro.experiments import run_table5
+
+
+def test_table5_mechanisms(benchmark, show):
+    rows = once(benchmark, run_table5)
+    show(rows, "Table 5: HeteroOS incremental mechanisms")
+
+    names = [row["mechanism"] for row in rows]
+    assert names == [
+        "heap-od", "heap-io-slab-od", "hetero-lru", "hetero-coordinated",
+    ]
+    policies = [make_policy(name) for name in names]
+    # Each rung is a refinement of the one below.
+    for lower, higher in zip(policies, policies[1:]):
+        assert isinstance(higher, type(lower)), (lower.name, higher.name)

@@ -1,0 +1,31 @@
+"""Table 6: per-page migration cost (page walk + page copy) vs batch."""
+
+import pytest
+from conftest import once
+
+from repro.experiments import run_table6
+
+PAPER_COSTS = {  # batch -> (move us, walk us)
+    8 * 1024: (25.5, 43.21),
+    64 * 1024: (15.7, 26.32),
+    128 * 1024: (11.12, 10.25),
+}
+
+
+def test_table6_migration_cost(benchmark, show):
+    rows = once(benchmark, run_table6)
+    show(rows, "Table 6: per-page migration cost vs batch size")
+
+    by_batch = {row["batch_pages"]: row for row in rows}
+    for batch, (move_us, walk_us) in PAPER_COSTS.items():
+        assert by_batch[batch]["t_page_move_us"] == pytest.approx(move_us)
+        assert by_batch[batch]["t_page_walk_us"] == pytest.approx(walk_us)
+    # Batching reduces both components; the walk drops faster ("cost of
+    # page walk is even more expensive than actual migration" at small
+    # batches, cheaper at 128K).
+    batches = sorted(by_batch)
+    for small, large in zip(batches, batches[1:]):
+        assert by_batch[large]["t_page_move_us"] < by_batch[small]["t_page_move_us"]
+        assert by_batch[large]["t_page_walk_us"] < by_batch[small]["t_page_walk_us"]
+    assert by_batch[8 * 1024]["t_page_walk_us"] > by_batch[8 * 1024]["t_page_move_us"]
+    assert by_batch[128 * 1024]["t_page_walk_us"] < by_batch[128 * 1024]["t_page_move_us"]

@@ -1,0 +1,111 @@
+#!/usr/bin/env python3
+"""Writing your own placement policy and workload.
+
+Demonstrates the two extension points downstream users need:
+
+1. **Custom policy** — subclass :class:`PlacementPolicy`, register it,
+   and it becomes available to ``run_experiment`` by name.  The example
+   implements "WriteAware": a policy for asymmetric NVM (PCM stores are
+   2-6x slower than loads, Table 1) that steers *write-heavy* page types
+   to FastMem first — the Section 4.3 extension the paper sketches.
+2. **Custom workload** — build a :class:`StatisticalWorkload` describing
+   your application's memory signature and register it.
+
+Usage::
+
+    python examples/custom_policy.py
+"""
+
+from __future__ import annotations
+
+from repro import gain_percent, run_experiment
+from repro.core.policy import PlacementPolicy, register_policy
+from repro.hw.memdevice import NVM_PCM
+from repro.mem.extent import PageType
+from repro.sim.runner import build_config
+from repro.workloads.base import ChurnSpec, RegionSpec, StatisticalWorkload
+
+#: Page types that are written intensively (logs, network buffers,
+#: mutation-heavy heap) vs. read-mostly ones.
+WRITE_HEAVY = {
+    PageType.BUFFER_CACHE,
+    PageType.NETWORK_BUFFER,
+    PageType.HEAP,
+}
+
+
+@register_policy("write-aware")
+class WriteAwarePolicy(PlacementPolicy):
+    """Steer write-heavy pages to FastMem; read-mostly pages tolerate
+    NVM's read latency far better than its store latency."""
+
+    name = "write-aware"
+
+    def node_preference(self, page_type: PageType) -> list[int]:
+        if page_type in WRITE_HEAVY:
+            return self.fast_first()
+        return self.slow_first()
+
+
+def make_log_structured_store() -> StatisticalWorkload:
+    """A write-heavy LSM store: mutation-heavy memtable, write-ahead log
+    churn, and read-mostly SSTable cache."""
+    return StatisticalWorkload(
+        name="lsm-store",
+        mlp=5.0,
+        instructions_per_epoch=200e6,
+        accesses_per_epoch=2.0e6,
+        io_wait_ns=30e6,
+        metric="ops-per-sec",
+        work_units_per_epoch=25_000,
+        run_epochs=80,
+        resident=[
+            RegionSpec(
+                "memtable", PageType.HEAP, 120_000, reuse=0.75,
+                access_share=40.0, write_fraction=0.7,
+            ),
+            RegionSpec(
+                "sst-cache", PageType.PAGE_CACHE, 200_000, reuse=0.8,
+                access_share=35.0, write_fraction=0.05,
+            ),
+        ],
+        churn=[
+            ChurnSpec(
+                "wal", PageType.BUFFER_CACHE, 4_000, 2, reuse=0.5,
+                access_share=20.0, write_fraction=0.9,
+            ),
+            ChurnSpec(
+                "compaction", PageType.HEAP, 1_500, 3, reuse=0.4,
+                access_share=5.0, write_fraction=0.5,
+            ),
+        ],
+    )
+
+
+def main() -> None:
+    # Slow tier is real PCM here (150 ns loads / 450 ns stores), not
+    # throttled DRAM: write-awareness only matters on asymmetric devices.
+    config = build_config(fast_ratio=0.25, slow_device=NVM_PCM)
+
+    print("LSM store on DRAM FastMem + PCM SlowMem (1/4 capacity ratio)\n")
+    baseline = run_experiment(
+        make_log_structured_store(), "slowmem-only", config=config
+    )
+    for policy in ("heap-od", "write-aware", "hetero-lru"):
+        result = run_experiment(
+            make_log_structured_store(), policy, config=config
+        )
+        print(
+            f"{policy:>12}: {result.metric_value:9.0f} ops/s "
+            f"({gain_percent(result, baseline):+5.0f}% vs SlowMem-only)"
+        )
+
+    print(
+        "\n'write-aware' beats heap-only placement by keeping the WAL and"
+        "\nnetwork buffers off PCM's slow store path — the technology-"
+        "\nspecific policy extension sketched in Section 4.3."
+    )
+
+
+if __name__ == "__main__":
+    main()

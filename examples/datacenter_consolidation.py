@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Multi-VM consolidation: max-min vs weighted DRF sharing (Figure 13).
+
+Two guests — a GraphChi VM (6 GB heap, 1.5 GB hot) and a memory-hungry
+Metis VM (8 GB heap, 5.4 GB hot) — share a machine with 4 GB FastMem and
+8 GB SlowMem: 14 GB of demand on 12 GB of memory.  The sharing policy
+decides who wins:
+
+* Under single-resource **max-min**, Metis balloons out GraphChi's
+  reserved-but-idle SlowMem early; when GraphChi grows, its memory is
+  gone and it swaps.
+* Under **weighted DRF**, Metis's dominant share (FastMem, weight 2)
+  caps its appetite, and GraphChi's reservation survives.
+
+Usage::
+
+    python examples/datacenter_consolidation.py
+"""
+
+from __future__ import annotations
+
+from repro.core import make_policy
+from repro.experiments.sharing import fig13_devices, fig13_vmspecs
+from repro.sim.multi_vm import MultiVmSimulation
+from repro.vmm.drf import WeightedDrf
+from repro.vmm.sharing import MaxMinSharing
+
+EPOCHS = 160
+
+
+def run_scenario(label, sharing_policy):
+    sim = MultiVmSimulation(
+        fig13_devices(), fig13_vmspecs("hetero-coordinated"),
+        sharing_policy=sharing_policy,
+    )
+    results = sim.run(EPOCHS)
+    print(f"\n=== {label} ===")
+    for name, result in results.items():
+        print(
+            f"  {name:12s} runtime {result.runtime_sec:7.1f}s"
+            f"   swapped-out {result.swap_pages_out / 1e3:7.0f}K pages"
+        )
+    total = sum(r.runtime_sec for r in results.values())
+    print(f"  {'TOTAL':12s} runtime {total:7.1f}s")
+    return results
+
+
+def main() -> None:
+    print("Machine: 4 GB FastMem + 8 GB SlowMem (L:5,B:9)")
+    print("Guests : graphchi-vm <2x1GB, 1x4GB>, metis-vm <2x3GB, 1x4GB>")
+
+    maxmin = run_scenario("single-resource max-min", MaxMinSharing())
+    drf = run_scenario("weighted DRF (Algorithm 1)", WeightedDrf())
+
+    graphchi_gain = (
+        maxmin["graphchi-vm"].runtime_sec / drf["graphchi-vm"].runtime_sec
+        - 1.0
+    ) * 100
+    print(
+        f"\nDRF improves the GraphChi VM by {graphchi_gain:+.0f}% over "
+        "max-min\nby refusing to hand its reserved SlowMem to the "
+        "memory-hungry Metis VM\n(the paper measures +42% for the same "
+        "scenario)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Watching a phase change through the policies' eyes.
+
+GraphChi's hot vertex set drifts at epoch 120 (iteration-group change).
+This example records per-epoch timeseries for HeteroOS-LRU (placement
+only) and HeteroOS-coordinated (placement + hotness tracking) and prints
+the stretch around the shift: the fraction of memory stall served by
+FastMem collapses for both, but only the coordinated policy's tracker
+migrates the new hot set back into FastMem.
+
+Usage::
+
+    python examples/phase_timeline.py
+"""
+
+from __future__ import annotations
+
+from repro.core import make_policy
+from repro.sim.engine import SimulationEngine
+from repro.sim.runner import build_config
+from repro.workloads import make_workload
+
+SHIFT_EPOCH = 120
+WINDOW = (100, 180)
+
+
+def record(policy_name: str) -> list[dict]:
+    engine = SimulationEngine(
+        build_config(fast_ratio=0.125),
+        make_workload("graphchi"),
+        make_policy(policy_name),
+        record_timeseries=True,
+    )
+    engine.run(WINDOW[1] + 20)
+    return engine.timeseries
+
+
+def main() -> None:
+    lru = record("hetero-lru")
+    coordinated = record("hetero-coordinated")
+
+    print(f"GraphChi @ 1/8 FastMem; hot set drifts at epoch {SHIFT_EPOCH}\n")
+    print("epoch   runtime(ms)  [lru / coord]     fastmem-stall-share")
+    for epoch in range(WINDOW[0], WINDOW[1], 8):
+        a, b = lru[epoch], coordinated[epoch]
+        marker = "  <-- phase shift" if epoch == SHIFT_EPOCH else ""
+        print(
+            f"{epoch:5d}   {a['runtime_ns'] / 1e6:7.0f} /"
+            f" {b['runtime_ns'] / 1e6:5.0f}        "
+            f"{a['fast_stall_fraction']:.2f} / "
+            f"{b['fast_stall_fraction']:.2f}{marker}"
+        )
+
+    lru_tail = sum(r["runtime_ns"] for r in lru[SHIFT_EPOCH:]) / 1e9
+    coord_tail = sum(r["runtime_ns"] for r in coordinated[SHIFT_EPOCH:]) / 1e9
+    print(
+        f"\npost-shift runtime: hetero-lru {lru_tail:.1f}s vs"
+        f" hetero-coordinated {coord_tail:.1f}s"
+        "\nOnly the tracker notices that yesterday's cold pages are"
+        "\ntoday's hot ones — placement alone cannot repair the layout."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+"""HeteroOS reproduction — heterogeneous memory management simulation.
+
+A trace-driven reproduction of *HeteroOS: OS Design for Heterogeneous
+Memory Management in Datacenter* (Kannan et al., ISCA 2017): guest-OS
+heterogeneity awareness, demand-based FastMem prioritization, HeteroOS-
+LRU, guest/VMM coordinated hotness tracking and migration, and weighted
+DRF sharing across VMs — together with every substrate they run on
+(buddy allocator, NUMA nodes, per-CPU lists, slab, page cache, LRU,
+ballooning, hotness scanning, migration engine) and models of the six
+datacenter applications the paper evaluates.
+
+Quickstart::
+
+    from repro import run_experiment, gain_percent
+
+    slow = run_experiment("graphchi", "slowmem-only", fast_ratio=0.25)
+    het = run_experiment("graphchi", "hetero-lru", fast_ratio=0.25)
+    print(f"HeteroOS-LRU gain: {gain_percent(het, slow):.0f}%")
+"""
+
+from repro.config import SimConfig
+from repro.core import available_policies, make_policy
+from repro.sim import (
+    MultiVmSimulation,
+    RunResult,
+    SimulationEngine,
+    VmSpec,
+    gain_percent,
+    run_experiment,
+    slowdown_factor,
+)
+from repro.sim.runner import build_config
+from repro.workloads import available_workloads, make_workload
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "SimConfig",
+    "build_config",
+    "run_experiment",
+    "gain_percent",
+    "slowdown_factor",
+    "RunResult",
+    "SimulationEngine",
+    "MultiVmSimulation",
+    "VmSpec",
+    "make_policy",
+    "available_policies",
+    "make_workload",
+    "available_workloads",
+    "__version__",
+]

@@ -1,0 +1,204 @@
+"""Command-line interface.
+
+Usage::
+
+    python -m repro list                     # apps and policies
+    python -m repro run graphchi hetero-lru --ratio 0.25
+    python -m repro compare graphchi --ratio 0.25
+    python -m repro figure fig9              # any table/figure driver
+    python -m repro figure all               # regenerate everything
+
+The ``figure`` subcommand accepts ``table1 table3 table4 table5 table6
+fig1 fig2 fig3 fig4 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13`` or
+``all``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable
+
+from repro import (
+    available_policies,
+    available_workloads,
+    gain_percent,
+    run_experiment,
+)
+from repro.experiments import report
+from repro import experiments
+
+
+def _figure_drivers() -> dict[str, Callable[[], list[dict]]]:
+    names = [
+        "table1", "table3", "table4", "table5", "table6",
+        "fig1", "fig2", "fig3", "fig4", "fig6", "fig7", "fig8",
+        "fig9", "fig10", "fig11", "fig12", "fig13",
+    ]
+    return {name: getattr(experiments, f"run_{name}") for name in names}
+
+
+def cmd_list(_args: argparse.Namespace) -> int:
+    print("applications:")
+    for app in available_workloads():
+        print(f"  {app}")
+    print("policies:")
+    for policy in available_policies():
+        print(f"  {policy}")
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    result = run_experiment(
+        args.app,
+        args.policy,
+        fast_ratio=args.ratio,
+        epochs=args.epochs,
+        throttle=(args.latency_factor, args.bandwidth_factor),
+        llc_mib=args.llc_mib,
+    )
+    print(f"workload : {result.workload_name}")
+    print(f"policy   : {result.policy_name}")
+    print(f"runtime  : {result.runtime_sec:.3f} s ({result.stats.epochs} epochs)")
+    if result.metric != "seconds":
+        print(f"metric   : {result.metric_value:,.0f} {result.metric}")
+    print(f"mpki     : {result.mpki:.2f}")
+    print(f"fastmem allocation miss ratio: {result.fastmem_miss_ratio():.2f}")
+    if result.pages_migrated or result.pages_demoted:
+        print(
+            f"migrated : {result.pages_migrated} pages "
+            f"(demoted {result.pages_demoted})"
+        )
+    if args.breakdown:
+        from repro.experiments.analysis import (
+            allocation_breakdown,
+            time_breakdown,
+        )
+
+        print()
+        print(report.format_table(time_breakdown(result), title="time"))
+        print()
+        print(
+            report.format_table(
+                allocation_breakdown(result), title="allocations"
+            )
+        )
+    return 0
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    baseline = run_experiment(
+        args.app, "slowmem-only", fast_ratio=args.ratio, epochs=args.epochs
+    )
+    rows = []
+    for policy in available_policies():
+        result = (
+            baseline
+            if policy == "slowmem-only"
+            else run_experiment(
+                args.app, policy, fast_ratio=args.ratio, epochs=args.epochs
+            )
+        )
+        rows.append(
+            {
+                "policy": policy,
+                "runtime_sec": result.runtime_sec,
+                "gain_pct": gain_percent(result, baseline),
+            }
+        )
+    rows.sort(key=lambda row: row["runtime_sec"])
+    print(report.format_table(rows, title=f"{args.app} @ ratio {args.ratio}"))
+    return 0
+
+
+def cmd_figure(args: argparse.Namespace) -> int:
+    drivers = _figure_drivers()
+    targets = list(drivers) if args.name == "all" else [args.name]
+    unknown = [t for t in targets if t not in drivers]
+    if unknown:
+        print(
+            f"unknown figure(s): {unknown}; choose from "
+            f"{sorted(drivers)} or 'all'",
+            file=sys.stderr,
+        )
+        return 2
+    for target in targets:
+        rows = drivers[target]()
+        print(report.format_table(rows, title=target))
+        print()
+    return 0
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.experiments.sweep import sweep
+
+    rows = sweep(
+        apps=tuple(args.apps) if args.apps else tuple(available_workloads()),
+        policies=tuple(args.policies),
+        ratios=tuple(args.ratios),
+        epochs=args.epochs,
+    )
+    print(report.format_table(rows, title="sweep"))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="HeteroOS reproduction toolkit"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list applications and policies").set_defaults(
+        func=cmd_list
+    )
+
+    run_parser = sub.add_parser("run", help="run one (app, policy) pair")
+    run_parser.add_argument("app")
+    run_parser.add_argument("policy")
+    run_parser.add_argument("--ratio", type=float, default=0.25)
+    run_parser.add_argument("--epochs", type=int, default=None)
+    run_parser.add_argument("--latency-factor", type=float, default=5.0)
+    run_parser.add_argument("--bandwidth-factor", type=float, default=9.0)
+    run_parser.add_argument("--llc-mib", type=int, default=16)
+    run_parser.add_argument(
+        "--breakdown", action="store_true",
+        help="print time and allocation breakdowns",
+    )
+    run_parser.set_defaults(func=cmd_run)
+
+    compare_parser = sub.add_parser(
+        "compare", help="run every policy on one app"
+    )
+    compare_parser.add_argument("app")
+    compare_parser.add_argument("--ratio", type=float, default=0.25)
+    compare_parser.add_argument("--epochs", type=int, default=None)
+    compare_parser.set_defaults(func=cmd_compare)
+
+    figure_parser = sub.add_parser(
+        "figure", help="regenerate a paper table/figure (or 'all')"
+    )
+    figure_parser.add_argument("name")
+    figure_parser.set_defaults(func=cmd_figure)
+
+    sweep_parser = sub.add_parser(
+        "sweep", help="grid-sweep apps x policies x ratios"
+    )
+    sweep_parser.add_argument("--apps", nargs="+", default=None)
+    sweep_parser.add_argument(
+        "--policies", nargs="+", default=["hetero-lru"]
+    )
+    sweep_parser.add_argument(
+        "--ratios", nargs="+", type=float, default=[0.25]
+    )
+    sweep_parser.add_argument("--epochs", type=int, default=None)
+    sweep_parser.set_defaults(func=cmd_sweep)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

@@ -1,0 +1,58 @@
+"""HeteroOS core: placement policies, HeteroOS-LRU, coordination, DRF glue.
+
+The mechanism ladder of Table 5, each level layering on the previous:
+
+* ``Heap-OD`` — on-demand FastMem allocation for the heap only.
+* ``Heap-IO-Slab-OD`` — demand-based FastMem prioritization across heap,
+  I/O page cache, buffer cache, slab, and network buffers.
+* ``HeteroOS-LRU`` — plus eager, memory-type-aware contention resolution.
+* ``HeteroOS-coordinated`` — plus guest-guided VMM hotness tracking and
+  guest-controlled migration with the Equation 1 adaptive interval.
+
+Baselines: SlowMem-only, FastMem-only, Random, NUMA-preferred, and the
+VMM-exclusive HeteroVisor model.
+"""
+
+from repro.core.policy import (
+    PlacementPolicy,
+    PolicyBinding,
+    available_policies,
+    make_policy,
+    register_policy,
+)
+from repro.core.baselines import (
+    FastMemOnlyPolicy,
+    NumaBalancingPolicy,
+    NumaPreferredPolicy,
+    RandomPolicy,
+    SlowMemOnlyPolicy,
+    VmmExclusivePolicy,
+)
+from repro.core.heap_od import HeapOdPolicy
+from repro.core.heap_io_slab_od import HeapIoSlabOdPolicy
+from repro.core.hetero_lru import HeteroLruPolicy
+from repro.core.coordinated import CoordinatedPolicy
+from repro.core.multilevel import MultiLevelPolicy
+from repro.core.native import NativeCoordinatedPolicy
+from repro.core.nvm_write_aware import NvmWriteAwarePolicy
+
+__all__ = [
+    "PlacementPolicy",
+    "PolicyBinding",
+    "register_policy",
+    "make_policy",
+    "available_policies",
+    "SlowMemOnlyPolicy",
+    "FastMemOnlyPolicy",
+    "RandomPolicy",
+    "NumaPreferredPolicy",
+    "NumaBalancingPolicy",
+    "VmmExclusivePolicy",
+    "HeapOdPolicy",
+    "HeapIoSlabOdPolicy",
+    "HeteroLruPolicy",
+    "CoordinatedPolicy",
+    "MultiLevelPolicy",
+    "NativeCoordinatedPolicy",
+    "NvmWriteAwarePolicy",
+]

@@ -1,0 +1,316 @@
+"""Baseline placement policies.
+
+* ``SlowMem-only`` — the naive floor every figure normalises against.
+* ``FastMem-only`` — the ideal ceiling: unlimited FastMem.
+* ``Random`` — heterogeneity-unaware random placement (Figures 6/7).
+* ``NUMA-preferred`` — Linux's existing preferred-node policy with guest
+  NUMA enabled but none of HeteroOS's extensions (Figure 9's comparison).
+* ``VMM-exclusive`` — the HeteroVisor model: the guest sees one memory;
+  the VMM lazily backs everything with SlowMem, then periodically scans
+  the whole VM for hotness and migrates hot pages to FastMem, evicting
+  the least-hot FastMem pages (Sections 2.3 and 5).
+"""
+
+from __future__ import annotations
+
+from repro.core.policy import PlacementPolicy, PolicyBinding, register_policy
+from repro.errors import ConfigurationError
+from repro.mem.extent import PageExtent, PageType
+from repro.vmm.hotness import ScanReport
+
+
+@register_policy("slowmem-only")
+class SlowMemOnlyPolicy(PlacementPolicy):
+    """Everything on SlowMem; the paper's naive baseline."""
+
+    name = "slowmem-only"
+
+    def node_preference(self, page_type: PageType) -> list[int]:
+        return self.slow_only()
+
+
+@register_policy("fastmem-only")
+class FastMemOnlyPolicy(PlacementPolicy):
+    """Everything on FastMem with unlimited capacity; the ideal case."""
+
+    name = "fastmem-only"
+    requires_unlimited_fast = True
+
+    def node_preference(self, page_type: PageType) -> list[int]:
+        return self.fast_first()
+
+
+@register_policy("random")
+class RandomPolicy(PlacementPolicy):
+    """Per-request random node choice, capacity-weighted.
+
+    Models boot-time random placement without heterogeneity awareness;
+    the non-deterministic latency/bandwidth behaviour of Figures 6-7.
+    """
+
+    name = "random"
+
+    def node_preference(self, page_type: PageType) -> list[int]:
+        binding = self.binding
+        if binding is None or binding.rng is None:
+            raise ConfigurationError("random policy needs a bound RNG")
+        nodes = list(self.kernel.nodes.values())
+        weights = [node.total_pages for node in nodes]
+        first = binding.rng.choices(nodes, weights=weights, k=1)[0]
+        rest = [n.node_id for n in nodes if n.node_id != first.node_id]
+        return [first.node_id] + rest
+
+
+@register_policy("numa-preferred")
+class NumaPreferredPolicy(PlacementPolicy):
+    """Linux ``preferred`` NUMA policy pointed at the FastMem node.
+
+    Every allocation tries FastMem first, first-come-first-served, with
+    no demand ranking, no eager reclaim, and no migration.  Because the
+    stock kernel keeps the default zone split, watermark reserves, and
+    automatic-balancing reservations on the FastMem node (HeteroOS's
+    unified zone "conserve[s] pages"), a slice of FastMem is never
+    usable: ``reserved_fraction`` models that slice.
+    """
+
+    name = "numa-preferred"
+
+    def __init__(self, reserved_fraction: float = 0.2) -> None:
+        super().__init__()
+        if not 0 <= reserved_fraction < 1:
+            raise ConfigurationError("reserved fraction must be in [0, 1)")
+        self.reserved_fraction = reserved_fraction
+
+    def bind(self, binding: PolicyBinding) -> None:
+        super().bind(binding)
+        for node_id in binding.kernel.fast_node_ids:
+            node = binding.kernel.nodes[node_id]
+            reserve = int(node.total_pages * self.reserved_fraction)
+            if reserve > 0:
+                binding.kernel.hide_pages(node_id, reserve)
+
+    def node_preference(self, page_type: PageType) -> list[int]:
+        return self.fast_first()
+
+
+@register_policy("numa-balancing")
+class NumaBalancingPolicy(PlacementPolicy):
+    """Linux automatic NUMA balancing, heterogeneity-blind.
+
+    Section 5.3: "we notice a significant slowdown with other policies
+    such as 'local node first' or the Linux automatic NUMA balancing
+    policy because some cores are bounded to SlowMem even when FastMem
+    is available."  CPUs are spread across the nodes proportionally to
+    nothing in particular (they are *CPU* topology, not memory speed),
+    so a fixed share of allocations is node-local to SlowMem by
+    construction, and the balancer's periodic NUMA-hinting faults add
+    overhead without fixing the tier mismatch.
+    """
+
+    name = "numa-balancing"
+
+    #: NUMA-hinting fault sampling cost per epoch per resident page
+    #: sampled (256 pages/epoch window, ~2 us per hinting fault).
+    HINT_FAULT_NS = 2_000.0
+    HINT_SAMPLE_PAGES = 256
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._allocation_counter = 0
+
+    def node_preference(self, page_type: PageType) -> list[int]:
+        # Round-robin "local node" assignment: the faulting CPU's node,
+        # which alternates across the machine's nodes.
+        nodes = self.kernel.nodes_by_speed()
+        self._allocation_counter += 1
+        local = nodes[self._allocation_counter % len(nodes)]
+        rest = [node_id for node_id in nodes if node_id != local]
+        return [local] + rest
+
+    def on_epoch_end(self, epoch: int) -> float:
+        # The balancer samples pages via hinting faults every epoch.
+        return self.HINT_SAMPLE_PAGES * self.HINT_FAULT_NS
+
+
+@register_policy("vmm-exclusive")
+class VmmExclusivePolicy(PlacementPolicy):
+    """The HeteroVisor model: lazy SlowMem backing + VMM scan/migrate.
+
+    Parameters
+    ----------
+    scan_interval_epochs:
+        Hotness scans run every this many epochs (1 epoch == 100 ms, so
+        the Figure 8 sweep maps intervals 100-500 ms to 1-5 epochs).
+    scan_batch_pages:
+        Pages examined per scan pass (HeteroVisor batches).
+    migrate_batch_pages:
+        Batch size used for the Table 6 migration cost lookup.
+    """
+
+    name = "vmm-exclusive"
+
+    def __init__(
+        self,
+        scan_interval_epochs: int = 1,
+        scan_batch_pages: int = 16 * 1024,
+        migrate_batch_pages: int = 64 * 1024,
+        migrate_budget_pages: int = 32 * 1024,
+    ) -> None:
+        super().__init__()
+        if scan_interval_epochs <= 0:
+            raise ConfigurationError("scan interval must be positive")
+        self.scan_interval_epochs = scan_interval_epochs
+        self.scan_batch_pages = scan_batch_pages
+        self.migrate_batch_pages = migrate_batch_pages
+        self.migrate_budget_pages = migrate_budget_pages
+        #: Extent ids found hot last interval, migrated next interval.
+        #: The one-interval lag is the staleness that lets the VMM try to
+        #: migrate pages the guest has already freed (Section 4.1).
+        self._pending_hot: list[int] = []
+        self._cursor = 0
+        self._epoch_evict_cost_ns = 0.0
+        self.scan_cost_ns = 0.0
+        self.migration_cost_ns = 0.0
+        self.pages_migrated = 0
+
+    def node_preference(self, page_type: PageType) -> list[int]:
+        # The guest is heterogeneity-blind; the VMM backs it with SlowMem
+        # and only migration ever populates FastMem.
+        return self.slow_only()
+
+    def on_epoch_end(self, epoch: int) -> float:
+        if (epoch + 1) % self.scan_interval_epochs != 0:
+            return 0.0
+        overhead = self._migrate_pending()
+        overhead += self._scan()
+        return overhead
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _scan(self) -> float:
+        binding = self.binding
+        assert binding is not None and binding.tracker is not None
+        kernel = binding.kernel
+        # Round-robin over the whole VM's extents: the VMM has no idea
+        # which pages matter, so everything is scanned, I/O churn included.
+        extents = sorted(kernel.extents.values(), key=lambda e: e.extent_id)
+        if not extents:
+            return 0.0
+        self._cursor %= len(extents)
+        window = extents[self._cursor:] + extents[: self._cursor]
+        report: ScanReport = binding.tracker.scan(
+            window, max_pages=self.scan_batch_pages
+        )
+        self._cursor = (self._cursor + report.extents_scanned) % len(extents)
+        slow_ids = set(kernel.slow_node_ids)
+        self._pending_hot = [
+            extent.extent_id
+            for extent in report.hot_extents
+            if extent.node_id in slow_ids and not extent.swapped
+        ]
+        self.scan_cost_ns += report.cost_ns
+        return report.cost_ns
+
+    def _migrate_pending(self) -> float:
+        binding = self.binding
+        assert binding is not None
+        engine = binding.migration_engine
+        if engine is None or not self._pending_hot:
+            self._pending_hot = []
+            return 0.0
+        kernel = binding.kernel
+        fast_ids = kernel.fast_node_ids
+        if not fast_ids:
+            self._pending_hot = []
+            return 0.0
+        target = fast_ids[0]
+        # Stale extents (freed since the scan) surface as dead ids; model
+        # the wasted page walk the VMM pays for them.
+        live: list[PageExtent] = []
+        dead_pages = 0
+        for extent_id in self._pending_hot:
+            extent = kernel.extents.get(extent_id)
+            if extent is None:
+                dead_pages += 64  # representative stale-entry walk batch
+            else:
+                live.append(extent)
+        self._pending_hot = []
+        self._epoch_evict_cost_ns = 0.0
+        # Cap the attempt at what FastMem can actually admit: free pages
+        # plus evictable (not-hot) pages.  Blindly retrying promotions
+        # against a FastMem full of hot pages would burn page walks every
+        # interval for nothing.
+        tracker = binding.tracker
+        assert tracker is not None
+        fast_node = kernel.nodes[target]
+        evictable = sum(
+            e.pages
+            for e in kernel.extents.values()
+            if e.node_id == target
+            and not e.swapped
+            and tracker.estimate(e) < tracker.config.hot_density
+        )
+        room = fast_node.free_pages + evictable
+        budget = min(self.migrate_budget_pages, room)
+        if budget <= 0:
+            return 0.0
+        report = engine.migrate(
+            live,
+            target,
+            kernel,
+            batch_pages=self.migrate_batch_pages,
+            evict_with=self._evict_fast,
+            budget_pages=budget,
+        )
+        _move_ns, walk_ns = engine.cost_model.per_page_costs(
+            self.migrate_batch_pages
+        )
+        cost = report.cost_ns + dead_pages * walk_ns + self._epoch_evict_cost_ns
+        self.migration_cost_ns += cost
+        self.pages_migrated += report.pages_moved
+        return cost
+
+    def _evict_fast(self, target_node_id: int, pages_needed: int) -> int:
+        """Demote the least-hot FastMem extents to SlowMem to make room."""
+        binding = self.binding
+        assert binding is not None and binding.tracker is not None
+        kernel = binding.kernel
+        tracker = binding.tracker
+        slow_ids = kernel.slow_node_ids
+        if not slow_ids:
+            return 0
+        # Only pages the tracker no longer considers hot are eviction
+        # candidates; a FastMem full of genuinely hot pages stays put.
+        victims = sorted(
+            (
+                e
+                for e in kernel.extents.values()
+                if e.node_id == target_node_id
+                and not e.swapped
+                and tracker.estimate(e) < tracker.config.hot_density
+            ),
+            key=lambda e: tracker.estimate(e),
+        )
+        engine = binding.migration_engine
+        assert engine is not None
+        freed = 0
+        batch: list[PageExtent] = []
+        for extent in victims:
+            if freed >= pages_needed:
+                break
+            need = pages_needed - freed
+            if extent.pages > need:
+                # Evict only the shortfall, not a whole cold region.
+                kernel.split_extent(extent, need)
+            batch.append(extent)
+            freed += extent.pages
+        if not batch:
+            return 0
+        report = engine.migrate(
+            batch, slow_ids[0], kernel, batch_pages=self.migrate_batch_pages
+        )
+        self._epoch_evict_cost_ns += report.cost_ns
+        self.pages_migrated += report.pages_moved
+        return report.pages_moved

@@ -1,0 +1,29 @@
+"""Heap-OD: on-demand FastMem allocation for the heap (Section 3.2).
+
+The first rung of the Table 5 ladder: the guest is heterogeneity-aware
+and backs heap (anonymous) allocations with FastMem on demand, falling
+back to SlowMem when FastMem is exhausted.  Every other page type follows
+the conventional rule — I/O and kernel pages go to SlowMem — which is
+exactly the "heap-only prioritization" the paper shows is insufficient
+for storage- and network-intensive applications.
+"""
+
+from __future__ import annotations
+
+from repro.core.policy import PlacementPolicy, register_policy
+from repro.mem.extent import PageType
+
+
+@register_policy("heap-od")
+class HeapOdPolicy(PlacementPolicy):
+    """On-demand heap allocation to FastMem; everything else SlowMem."""
+
+    name = "heap-od"
+
+    #: Page types this policy steers toward FastMem.
+    FAST_TYPES: frozenset[PageType] = frozenset({PageType.HEAP})
+
+    def node_preference(self, page_type: PageType) -> list[int]:
+        if page_type in self.FAST_TYPES:
+            return self.fast_first()
+        return self.slow_first()

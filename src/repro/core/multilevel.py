@@ -1,0 +1,110 @@
+"""Multi-level memory: page-type-specific promotion/demotion ladders.
+
+Section 4.3: "For multi-level memories, enabling page-type specific
+promotion/demotion policies can be important.  For example, inactive
+heap pages can be demoted one level at a time (e.g., FastMem ->
+MediumMem -> SlowMem) because of high reuse, whereas IO buffers are
+mostly unused after IO completion, and can be demoted to
+large-but-slowest memory."
+
+:class:`MultiLevelPolicy` implements that ladder for three-tier guests
+(FAST / MEDIUM / SLOW nodes):
+
+* allocation preference walks the tiers fastest-first;
+* inactive *heap/slab* pages step down exactly one tier per demotion
+  (they often reheat — a one-level demotion keeps the comeback cheap);
+* completed/inactive *I/O* pages drop straight to the slowest tier (or
+  are dropped outright when clean, as in HeteroOS-LRU).
+"""
+
+from __future__ import annotations
+
+from repro.core.hetero_lru import HeteroLruPolicy
+from repro.core.policy import register_policy
+from repro.errors import ReproError
+from repro.mem.extent import PageType
+
+
+@register_policy("multi-level")
+class MultiLevelPolicy(HeteroLruPolicy):
+    """HeteroOS-LRU generalised to FastMem/MediumMem/SlowMem ladders."""
+
+    name = "multi-level"
+
+    def node_preference(self, page_type: PageType) -> list[int]:
+        if page_type not in self.FAST_TYPES:
+            return self.slow_first()
+        if self._budgeting_active and self._budgets.get(page_type, 1) <= 0:
+            return self.slow_first()
+        return self.kernel.nodes_by_speed()
+
+    def _next_tier_down(self, node_id: int) -> int | None:
+        """The node one speed rank below ``node_id``, or ``None``."""
+        order = self.kernel.nodes_by_speed()
+        index = order.index(node_id)
+        if index + 1 >= len(order):
+            return None
+        return order[index + 1]
+
+    def _slowest(self) -> int:
+        return self.kernel.nodes_by_speed()[-1]
+
+    def _demote_pass(self, epoch: int) -> float:
+        """Ladder demotion: run the HeteroOS-LRU pressure logic on every
+        non-slowest tier, stepping heap/slab one level and sending I/O to
+        the bottom."""
+        kernel = self.kernel
+        order = kernel.nodes_by_speed()
+        if len(order) < 2:
+            return 0.0
+        cost = 0.0
+        queued, self._demote_queue = self._demote_queue, []
+        # Completed I/O: drop (clean) wherever it is above the bottom.
+        for extent in queued:
+            if (
+                extent.extent_id in kernel.extents
+                and not extent.swapped
+                and extent.page_type.is_io
+                and extent.node_id != self._slowest()
+            ):
+                kernel.drop_io_extent(extent)
+        for node_id in order[:-1]:
+            node = kernel.nodes[node_id]
+            lru = kernel.lru[node_id]
+            lru.scan(epoch)
+            deficit = (
+                int(node.total_pages * self.fast_free_target)
+                - node.free_pages
+            )
+            if deficit <= 0:
+                continue
+            for extent in list(lru.inactive_extents):
+                if deficit <= 0:
+                    break
+                if extent.swapped or not extent.page_type.is_migratable:
+                    continue
+                if extent.page_type.is_io:
+                    deficit -= kernel.drop_io_extent(extent)
+                    continue
+                target = self._next_tier_down(node_id)
+                if target is None:
+                    break
+                move_pages = min(extent.pages, max(deficit, 1024))
+                try:
+                    if move_pages < extent.pages:
+                        kernel.split_extent(extent, move_pages)
+                    moved = kernel.move_extent(extent, target)
+                except ReproError:
+                    continue
+                if moved:
+                    kernel.lru[target].deactivate(extent)
+                    self.pages_demoted += moved
+                    cost += moved * self.DEMOTE_PAGE_NS
+                    deficit -= moved
+        # Demand-based displacement still applies to the fastest tier.
+        fastest = order[0]
+        step_down = self._next_tier_down(fastest)
+        if step_down is not None:
+            cost += self._demote_for_denser(epoch, fastest, step_down)
+        self.demote_cost_ns += cost
+        return cost

@@ -1,0 +1,44 @@
+"""Exception hierarchy for the HeteroOS reproduction.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers embedding the simulator can catch one type.  Subclasses mirror the
+major subsystems.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all library errors."""
+
+
+class ConfigurationError(ReproError):
+    """A simulation or device configuration is inconsistent."""
+
+
+class OutOfMemoryError(ReproError):
+    """A frame pool, node, or machine ran out of capacity."""
+
+
+class AllocationError(ReproError):
+    """An allocator was used incorrectly (double free, bad order, ...)."""
+
+
+class PlacementError(ReproError):
+    """A placement policy produced an invalid decision."""
+
+
+class MigrationError(ReproError):
+    """A page migration request was invalid."""
+
+
+class ChannelError(ReproError):
+    """Guest/VMM coordination channel misuse."""
+
+
+class WorkloadError(ReproError):
+    """A workload emitted an inconsistent demand stream."""
+
+
+class SharingError(ReproError):
+    """Multi-VM resource sharing (max-min / DRF) invariant violation."""

@@ -1,0 +1,60 @@
+"""Experiment drivers: one module per paper table/figure.
+
+Each ``run_*`` function executes the experiment and returns plain rows
+(lists of dicts) that the benchmark harness prints and asserts shape
+properties over, and that ``repro.experiments.report`` renders as text
+tables.  Keeping the drivers here — instead of inside the benchmarks —
+makes every figure reproducible from library code and from the examples.
+"""
+
+from repro.experiments import report
+from repro.experiments.tables import (
+    run_table1,
+    run_table3,
+    run_table5,
+    run_table6,
+)
+from repro.experiments.sensitivity import (
+    run_fig1,
+    run_fig2,
+    run_fig3,
+    run_table4,
+)
+from repro.experiments.page_mix import run_fig4
+from repro.experiments.microbench import run_fig6, run_fig7
+from repro.experiments.tracking_overhead import run_fig8
+from repro.experiments.placement import run_fig9, run_fig10
+from repro.experiments.coordinated import run_fig11, run_fig12
+from repro.experiments.sharing import run_fig13
+from repro.experiments.sweep import run_table2, sweep
+from repro.experiments.analysis import (
+    allocation_breakdown,
+    summarize,
+    time_breakdown,
+)
+
+__all__ = [
+    "report",
+    "sweep",
+    "run_table1",
+    "run_table2",
+    "run_table3",
+    "run_table4",
+    "run_table5",
+    "run_table6",
+    "run_fig1",
+    "run_fig2",
+    "run_fig3",
+    "run_fig4",
+    "run_fig6",
+    "run_fig7",
+    "run_fig8",
+    "run_fig9",
+    "run_fig10",
+    "run_fig11",
+    "run_fig12",
+    "run_fig13",
+    "time_breakdown",
+    "allocation_breakdown",
+    "summarize",
+]

@@ -1,0 +1,75 @@
+"""Run-result analysis helpers.
+
+:func:`time_breakdown` decomposes a run's virtual time into the
+components the paper reasons about (compute, I/O wait, per-device
+memory stalls, management overheads); :func:`allocation_breakdown`
+tabulates the per-subsystem FastMem statistics of Section 3.2.  Both
+return rows ready for :func:`repro.experiments.report.format_table`.
+"""
+
+from __future__ import annotations
+
+from repro.sim.stats import RunResult
+
+
+def time_breakdown(result: RunResult) -> list[dict]:
+    """Where the run's virtual time went, as fractions of runtime."""
+    runtime = result.stats.runtime_ns
+    if runtime <= 0:
+        return []
+    rows = [
+        {"component": "cpu", "seconds": result.stats.cpu_ns / 1e9},
+        {"component": "io-wait", "seconds": result.stats.io_wait_ns / 1e9},
+    ]
+    for device, stall_ns in sorted(result.stats.stall_ns_by_device.items()):
+        rows.append(
+            {"component": f"stall:{device}", "seconds": stall_ns / 1e9}
+        )
+    rows.append(
+        {
+            "component": "management",
+            "seconds": (
+                result.stats.policy_overhead_ns
+                + result.stats.kernel_cost_ns
+            )
+            / 1e9,
+        }
+    )
+    for row in rows:
+        row["fraction"] = row["seconds"] * 1e9 / runtime
+    return rows
+
+
+def allocation_breakdown(result: RunResult) -> list[dict]:
+    """Per-subsystem allocation requests, FastMem hits, and miss ratio."""
+    rows = []
+    for page_type, stats in sorted(
+        result.alloc_stats.items(), key=lambda item: item[0].value
+    ):
+        if stats.requested_pages == 0:
+            continue
+        rows.append(
+            {
+                "subsystem": page_type.value,
+                "requested_pages": stats.requested_pages,
+                "fastmem_pages": stats.fast_granted_pages,
+                "miss_ratio": stats.miss_ratio,
+            }
+        )
+    return rows
+
+
+def summarize(result: RunResult) -> list[dict]:
+    """One-row headline summary."""
+    return [
+        {
+            "workload": result.workload_name,
+            "policy": result.policy_name,
+            "runtime_sec": result.runtime_sec,
+            "metric": result.metric_value,
+            "mpki": result.mpki,
+            "fastmem_miss_ratio": result.fastmem_miss_ratio(),
+            "pages_migrated": result.pages_migrated,
+            "pages_demoted": result.pages_demoted,
+        }
+    ]

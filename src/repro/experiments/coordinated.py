@@ -1,0 +1,83 @@
+"""Figures 11 and 12: impact of guest-VMM coordinated management.
+
+* Figure 11 — gains over SlowMem-only for HeteroOS-LRU, VMM-exclusive,
+  and HeteroOS-coordinated at 1/4 and 1/8 FastMem ratios.
+* Figure 12 — gains attributable *exclusively to migrations*: each
+  migrating approach relative to the pure-placement Heap-IO-Slab-OD
+  baseline, with the total pages migrated (millions).
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.sim.runner import run_experiment
+from repro.sim.stats import RunResult, gain_percent
+from repro.workloads.registry import PLACEMENT_APPS
+
+FIG11_POLICIES: tuple[str, ...] = (
+    "hetero-lru",
+    "vmm-exclusive",
+    "hetero-coordinated",
+)
+
+FIG11_RATIOS: tuple[float, ...] = (1 / 4, 1 / 8)
+
+FIG12_APPS: tuple[str, ...] = ("graphchi", "redis", "leveldb")
+
+
+@lru_cache(maxsize=None)
+def _cached_run(
+    app: str, policy: str, ratio: float, epochs: int | None
+) -> RunResult:
+    return run_experiment(app, policy, fast_ratio=ratio, epochs=epochs)
+
+
+def run_fig11(
+    apps: tuple[str, ...] = PLACEMENT_APPS,
+    ratios: tuple[float, ...] = FIG11_RATIOS,
+    policies: tuple[str, ...] = FIG11_POLICIES,
+    epochs: int | None = None,
+) -> list[dict]:
+    """Gains (%) over SlowMem-only per (app, ratio, policy)."""
+    rows = []
+    for app in apps:
+        slow = _cached_run(app, "slowmem-only", 1 / 4, epochs)
+        fast = _cached_run(app, "fastmem-only", 1 / 4, epochs)
+        for ratio in ratios:
+            row: dict = {"app": app, "ratio": f"1/{round(1 / ratio)}"}
+            for policy in policies:
+                result = _cached_run(app, policy, ratio, epochs)
+                row[policy] = gain_percent(result, slow)
+            row["fastmem-only"] = gain_percent(fast, slow)
+            rows.append(row)
+    return rows
+
+
+def run_fig12(
+    apps: tuple[str, ...] = FIG12_APPS,
+    ratio: float = 1 / 4,
+    epochs: int | None = None,
+) -> list[dict]:
+    """Migration-only gains relative to Heap-IO-Slab-OD + pages moved.
+
+    For HeteroOS policies, "migrations" include both promotions and the
+    HeteroOS-LRU demotions (the paper's Figure 12 counts the evictions
+    and migrations together).
+    """
+    rows = []
+    for app in apps:
+        placement = _cached_run(app, "heap-io-slab-od", ratio, epochs)
+        row: dict = {"app": app}
+        for policy in ("vmm-exclusive", "hetero-lru", "hetero-coordinated"):
+            result = _cached_run(app, policy, ratio, epochs)
+            moved = result.pages_migrated + result.pages_demoted
+            row[f"{policy}_gain_pct"] = gain_percent(result, placement)
+            row[f"{policy}_migrated_millions"] = moved / 1e6
+        rows.append(row)
+    return rows
+
+
+def clear_cache() -> None:
+    """Drop memoized runs."""
+    _cached_run.cache_clear()

@@ -1,0 +1,94 @@
+"""Figures 6 and 7: memlat and Stream microbenchmarks.
+
+Platform per Section 5.2: FastMem limited to 0.5 GB, SlowMem 3.5 GB.
+The five approaches compared are Random, Heap-OD, FastMem-only,
+VMM-exclusive, and SlowMem-only.
+"""
+
+from __future__ import annotations
+
+from repro.sim.runner import build_config, run_experiment
+from repro.sim.stats import RunResult
+from repro.workloads.microbench import make_memlat, make_stream
+
+#: Section 5.2's approach list.
+MICRO_POLICIES: tuple[str, ...] = (
+    "random",
+    "heap-od",
+    "fastmem-only",
+    "vmm-exclusive",
+    "slowmem-only",
+)
+
+#: LLC-hit base latency added to the derived memory latency (cycles).
+BASE_HIT_CYCLES = 30.0
+
+
+def _average_latency_cycles(result: RunResult, frequency_ghz: float) -> float:
+    """Average per-access latency in cycles, derived from stall time."""
+    accesses = result.stats.total_accesses
+    if accesses <= 0:
+        return 0.0
+    stall_per_access_ns = result.stats.total_stall_ns / accesses
+    return BASE_HIT_CYCLES + stall_per_access_ns * frequency_ghz
+
+
+def _bandwidth_gbps(result: RunResult) -> float:
+    """Achieved memory bandwidth: traffic over run time."""
+    if result.stats.runtime_ns <= 0:
+        return 0.0
+    return result.stats.traffic_bytes / result.stats.runtime_ns
+
+
+def _micro_config(fast_gib: float = 0.5, slow_gib: float = 3.5, seed: int = 7):
+    return build_config(
+        fast_ratio=fast_gib / slow_gib, slow_gib=slow_gib, seed=seed
+    )
+
+
+def run_fig6(
+    wss_gib: tuple[float, ...] = (0.1, 0.25, 0.5, 1.0, 1.5, 2.0),
+    policies: tuple[str, ...] = MICRO_POLICIES,
+    epochs: int = 30,
+) -> list[dict]:
+    """Figure 6: memlat average latency (cycles) vs. working-set size."""
+    rows = []
+    for wss in wss_gib:
+        row: dict = {"wss_gib": wss}
+        for policy in policies:
+            config = _micro_config()
+            if policy == "fastmem-only":
+                config = build_config(
+                    fast_ratio=1.0, slow_gib=3.5, unlimited_fast=True
+                )
+            result = run_experiment(
+                make_memlat(wss), policy, epochs=epochs, config=config
+            )
+            row[policy] = _average_latency_cycles(
+                result, config.cpu.frequency_ghz
+            )
+        rows.append(row)
+    return rows
+
+
+def run_fig7(
+    wss_gib: tuple[float, ...] = (0.5, 1.5),
+    policies: tuple[str, ...] = MICRO_POLICIES,
+    epochs: int = 30,
+) -> list[dict]:
+    """Figure 7: Stream bandwidth (GB/s) vs. working-set size."""
+    rows = []
+    for wss in wss_gib:
+        row: dict = {"wss_gib": wss}
+        for policy in policies:
+            config = _micro_config()
+            if policy == "fastmem-only":
+                config = build_config(
+                    fast_ratio=1.0, slow_gib=3.5, unlimited_fast=True
+                )
+            result = run_experiment(
+                make_stream(wss), policy, epochs=epochs, config=config
+            )
+            row[policy] = _bandwidth_gbps(result)
+        rows.append(row)
+    return rows

@@ -1,0 +1,42 @@
+"""Figure 4: application memory page distribution.
+
+"Figure 4 shows the memory page distribution and the total memory pages
+used" — cumulative pages allocated per kernel page class over a run,
+normalised to fractions, plus the total in millions.
+"""
+
+from __future__ import annotations
+
+from repro.mem.extent import PageType
+from repro.sim.runner import run_experiment
+
+#: Figure 4's application order (left to right).
+FIG4_APPS: tuple[str, ...] = ("redis", "xstream", "graphchi", "metis", "leveldb")
+
+#: Figure 4's legend order.
+FIG4_CLASSES: tuple[tuple[str, tuple[PageType, ...]], ...] = (
+    ("heap/anon", (PageType.HEAP,)),
+    ("io-cache/mapped", (PageType.PAGE_CACHE, PageType.BUFFER_CACHE)),
+    ("nw-buff", (PageType.NETWORK_BUFFER,)),
+    ("slab", (PageType.SLAB,)),
+    ("pagetable", (PageType.PAGE_TABLE,)),
+)
+
+
+def run_fig4(
+    apps: tuple[str, ...] = FIG4_APPS, epochs: int | None = None
+) -> list[dict]:
+    """Page-type fractions + total pages (millions) per application."""
+    rows = []
+    for app in apps:
+        result = run_experiment(app, "heap-io-slab-od", epochs=epochs)
+        total = result.total_pages_allocated
+        row: dict = {"app": app}
+        for label, page_types in FIG4_CLASSES:
+            pages = sum(
+                result.page_distribution.get(pt, 0) for pt in page_types
+            )
+            row[label] = pages / total if total else 0.0
+        row["total_millions"] = total / 1e6
+        rows.append(row)
+    return rows

@@ -1,0 +1,77 @@
+"""Figures 9 and 10: guest-OS memory placement effectiveness.
+
+* Figure 9 — % gains relative to SlowMem-only for Heap-OD,
+  Heap-IO-Slab-OD, HeteroOS-LRU, and NUMA-preferred across FastMem
+  ratios 1/2, 1/4, 1/8, with the FastMem-only ceiling.
+* Figure 10 — whole-run FastMem allocation miss ratio at the 1/8 ratio.
+
+NGinx is excluded as in the paper (<10% heterogeneity impact).
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+from repro.sim.runner import run_experiment
+from repro.sim.stats import RunResult, gain_percent
+from repro.workloads.registry import PLACEMENT_APPS
+
+#: Figure 9's policy series, in legend order.
+FIG9_POLICIES: tuple[str, ...] = (
+    "heap-od",
+    "heap-io-slab-od",
+    "hetero-lru",
+    "numa-preferred",
+)
+
+FIG9_RATIOS: tuple[float, ...] = (1 / 2, 1 / 4, 1 / 8)
+
+
+@lru_cache(maxsize=None)
+def _cached_run(
+    app: str, policy: str, ratio: float, epochs: int | None
+) -> RunResult:
+    return run_experiment(app, policy, fast_ratio=ratio, epochs=epochs)
+
+
+def run_fig9(
+    apps: tuple[str, ...] = PLACEMENT_APPS,
+    ratios: tuple[float, ...] = FIG9_RATIOS,
+    policies: tuple[str, ...] = FIG9_POLICIES,
+    epochs: int | None = None,
+) -> list[dict]:
+    """Gains (%) over SlowMem-only per (app, ratio, policy)."""
+    rows = []
+    for app in apps:
+        slow = _cached_run(app, "slowmem-only", 1 / 4, epochs)
+        fast = _cached_run(app, "fastmem-only", 1 / 4, epochs)
+        for ratio in ratios:
+            row: dict = {"app": app, "ratio": f"1/{round(1 / ratio)}"}
+            for policy in policies:
+                result = _cached_run(app, policy, ratio, epochs)
+                row[policy] = gain_percent(result, slow)
+            row["fastmem-only"] = gain_percent(fast, slow)
+            rows.append(row)
+    return rows
+
+
+def run_fig10(
+    apps: tuple[str, ...] = PLACEMENT_APPS,
+    ratio: float = 1 / 8,
+    policies: tuple[str, ...] = FIG9_POLICIES,
+    epochs: int | None = None,
+) -> list[dict]:
+    """FastMem allocation miss ratio at the 1/8 capacity ratio."""
+    rows = []
+    for app in apps:
+        row: dict = {"app": app}
+        for policy in policies:
+            result = _cached_run(app, policy, ratio, epochs)
+            row[policy] = result.fastmem_miss_ratio()
+        rows.append(row)
+    return rows
+
+
+def clear_cache() -> None:
+    """Drop memoized runs (used between benchmark sessions)."""
+    _cached_run.cache_clear()

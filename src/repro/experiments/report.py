@@ -1,0 +1,36 @@
+"""Plain-text table rendering for experiment rows."""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+
+def format_table(
+    rows: Sequence[dict[str, Any]],
+    columns: Sequence[str] | None = None,
+    title: str | None = None,
+    float_digits: int = 2,
+) -> str:
+    """Render dict rows as an aligned text table."""
+    if not rows:
+        return f"{title}\n(empty)" if title else "(empty)"
+    cols = list(columns) if columns else list(rows[0].keys())
+
+    def fmt(value: Any) -> str:
+        if isinstance(value, float):
+            return f"{value:.{float_digits}f}"
+        return str(value)
+
+    rendered = [[fmt(row.get(col, "")) for col in cols] for row in rows]
+    widths = [
+        max(len(col), *(len(line[i]) for line in rendered))
+        for i, col in enumerate(cols)
+    ]
+    header = "  ".join(col.ljust(widths[i]) for i, col in enumerate(cols))
+    separator = "  ".join("-" * widths[i] for i in range(len(cols)))
+    body = [
+        "  ".join(line[i].ljust(widths[i]) for i in range(len(cols)))
+        for line in rendered
+    ]
+    lines = ([title] if title else []) + [header, separator] + body
+    return "\n".join(lines)

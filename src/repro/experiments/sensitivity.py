@@ -1,0 +1,96 @@
+"""Figures 1-3 and Table 4: latency/bandwidth/capacity sensitivity.
+
+* Figure 1 — slowdown of each application vs. FastMem-only as SlowMem is
+  throttled through the (L, B) sweep, plus the remote-NUMA comparison bar
+  (16 MB LLC platform).
+* Figure 2 — the same sweep on the Intel NVM emulator platform (48 MB
+  LLC), where the larger cache lowers every slowdown.
+* Figure 3 — slowdown vs. FastMem:SlowMem capacity ratio at L:5,B:9.
+* Table 4 — application MPKI measured on the FastMem-only platform.
+"""
+
+from __future__ import annotations
+
+from repro.hw.throttle import FIGURE1_SWEEP, ThrottleConfig
+from repro.hw.topology import remote_dram
+from repro.sim.runner import run_experiment
+from repro.sim.stats import slowdown_factor
+from repro.workloads.registry import ALL_APPS
+
+
+def run_table4(apps: tuple[str, ...] = ALL_APPS, epochs: int = 60) -> list[dict]:
+    """Table 4: MPKI per application (16 MB LLC, all-FastMem)."""
+    rows = []
+    for app in apps:
+        result = run_experiment(app, "fastmem-only", epochs=epochs)
+        rows.append({"app": app, "mpki": result.mpki})
+    return rows
+
+
+def run_fig1(
+    apps: tuple[str, ...] = ALL_APPS,
+    llc_mib: int = 16,
+    epochs: int = 60,
+    include_remote_numa: bool = True,
+    sweep: tuple[ThrottleConfig, ...] = FIGURE1_SWEEP,
+) -> list[dict]:
+    """Figures 1/2: slowdown relative to FastMem-only per throttle setting.
+
+    Every configuration runs the whole application exclusively on the
+    (throttled) SlowMem — the paper's methodology for isolating the
+    device's latency/bandwidth effect.
+    """
+    rows = []
+    for app in apps:
+        fast = run_experiment(app, "fastmem-only", llc_mib=llc_mib, epochs=epochs)
+        row: dict = {"app": app}
+        for config in sweep:
+            slow = run_experiment(
+                app, "slowmem-only", throttle=config, llc_mib=llc_mib,
+                epochs=epochs,
+            )
+            row[config.label] = slowdown_factor(slow, fast)
+        if include_remote_numa:
+            remote = run_experiment(
+                app,
+                "slowmem-only",
+                slow_device=remote_dram(),
+                llc_mib=llc_mib,
+                epochs=epochs,
+            )
+            row["remote-numa"] = slowdown_factor(remote, fast)
+        rows.append(row)
+    return rows
+
+
+def run_fig2(
+    apps: tuple[str, ...] = ALL_APPS, epochs: int = 60
+) -> list[dict]:
+    """Figure 2: the sensitivity sweep on the 48 MB-LLC NVM emulator."""
+    return run_fig1(
+        apps=apps, llc_mib=48, epochs=epochs, include_remote_numa=False
+    )
+
+
+def run_fig3(
+    apps: tuple[str, ...] = ALL_APPS,
+    ratios: tuple[float, ...] = (1 / 2, 1 / 4, 1 / 8, 1 / 16, 1 / 32),
+    epochs: int = 60,
+) -> list[dict]:
+    """Figure 3: FastMem capacity impact at L:5,B:9.
+
+    Uses the heterogeneity-aware on-demand placement (Heap-IO-Slab-OD) so
+    the FastMem that exists is actually used — the paper's point is how
+    much capacity matters *given* sensible placement.
+    """
+    rows = []
+    for app in apps:
+        fast = run_experiment(app, "fastmem-only", epochs=epochs)
+        row: dict = {"app": app}
+        for ratio in ratios:
+            result = run_experiment(
+                app, "heap-io-slab-od", fast_ratio=ratio, epochs=epochs
+            )
+            row[f"1/{round(1 / ratio)}"] = slowdown_factor(result, fast)
+        rows.append(row)
+    return rows

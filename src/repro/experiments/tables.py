@@ -1,0 +1,79 @@
+"""Tables 1, 3, 5, and 6: device presets, throttle presets, the mechanism
+ladder, and migration cost vs. batch size."""
+
+from __future__ import annotations
+
+from repro.hw.memdevice import TABLE1_DEVICES
+from repro.hw.throttle import TABLE3_PRESETS
+from repro.units import GIB, NS_PER_US
+from repro.vmm.migration import MigrationCostModel
+
+
+def run_table1() -> list[dict]:
+    """Table 1: heterogeneous memory characteristics."""
+    return [
+        {
+            "device": device.name,
+            "density_x": device.density_factor,
+            "load_ns": device.load_latency_ns,
+            "store_ns": device.store_latency_ns,
+            "bw_gbps": device.bandwidth_gbps,
+            "capacity_gib": device.capacity_bytes / GIB,
+        }
+        for device in TABLE1_DEVICES
+    ]
+
+
+def run_table3() -> list[dict]:
+    """Table 3: measured latency/bandwidth at the throttle calibration
+    points."""
+    return [
+        {
+            "config": f"L:{latency_factor},B:{bandwidth_factor}",
+            "latency_ns": latency_ns,
+            "bw_gbps": bandwidth,
+        }
+        for (latency_factor, bandwidth_factor), (latency_ns, bandwidth)
+        in sorted(TABLE3_PRESETS.items())
+    ]
+
+
+#: Table 5's incremental mechanism ladder, in order.
+TABLE5_LADDER: tuple[tuple[str, str], ...] = (
+    ("heap-od", "On-demand heap allocation"),
+    (
+        "heap-io-slab-od",
+        "Heap-OD + IO page cache allocation + slab allocation",
+    ),
+    ("hetero-lru", "Heap-IO-Slab-OD + HeteroOS-LRU"),
+    (
+        "hetero-coordinated",
+        "HeteroOS-LRU + OS guided hotness-tracking + architecture hints",
+    ),
+)
+
+
+def run_table5() -> list[dict]:
+    """Table 5: the HeteroOS incremental mechanisms."""
+    return [
+        {"mechanism": name, "description": description}
+        for name, description in TABLE5_LADDER
+    ]
+
+
+def run_table6(
+    batch_sizes: tuple[int, ...] = (8 * 1024, 64 * 1024, 128 * 1024),
+) -> list[dict]:
+    """Table 6: per-page migration cost (walk + copy) vs. batch size."""
+    model = MigrationCostModel()
+    rows = []
+    for batch in batch_sizes:
+        move_ns, walk_ns = model.per_page_costs(batch)
+        rows.append(
+            {
+                "batch_pages": batch,
+                "t_page_move_us": move_ns / NS_PER_US,
+                "t_page_walk_us": walk_ns / NS_PER_US,
+            }
+        )
+    return rows

@@ -1,0 +1,131 @@
+"""On-demand allocation balloon driver — guest front-end (Section 3.1).
+
+The guest boots with a per-memory-type reservation; the rest of each
+node's guest-physical span is *hidden* (held by the balloon).  When the
+kernel needs more pages of a type, the front-end asks the VMM back-end
+for that node's memory (steps 1-2 in Figure 5); granted pages are revealed
+into the node's buddy allocator.  Ballooning out (inflation) hides free
+pages again and returns them to the VMM.
+
+The front-end can specify a *fallback strategy*: whether a request for one
+memory type may be satisfied with another when the preferred pool is dry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Protocol
+
+from repro.errors import ConfigurationError
+from repro.guestos.numa import NodeTier
+
+
+class BalloonBackendProtocol(Protocol):
+    """The VMM side of the split driver (see
+    :mod:`repro.vmm.balloon_backend`)."""
+
+    def request_pages(
+        self, domain_id: int, tier: NodeTier, pages: int, allow_fallback: bool
+    ) -> dict[NodeTier, int]:
+        """Grant up to ``pages``; returns pages granted per tier."""
+        ...
+
+    def return_pages(self, domain_id: int, tier: NodeTier, pages: int) -> None:
+        """Give pages of ``tier`` back to the machine pool."""
+        ...
+
+
+@dataclass
+class BalloonStats:
+    requests: int = 0
+    granted_pages: dict[NodeTier, int] = field(default_factory=dict)
+    returned_pages: dict[NodeTier, int] = field(default_factory=dict)
+
+
+@dataclass
+class TierReservation:
+    """Boot-time minimum and balloonable maximum for one memory type
+    (the Section 4.2 ballooning extension)."""
+
+    min_pages: int
+    max_pages: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.min_pages <= self.max_pages:
+            raise ConfigurationError(
+                f"reservation must satisfy 0 <= min <= max "
+                f"(got {self.min_pages}, {self.max_pages})"
+            )
+
+
+class BalloonFrontend:
+    """Guest-side balloon with per-memory-type accounting."""
+
+    def __init__(
+        self,
+        domain_id: int,
+        backend: BalloonBackendProtocol,
+        reservations: dict[NodeTier, TierReservation],
+    ) -> None:
+        self.domain_id = domain_id
+        self.backend = backend
+        self.reservations = dict(reservations)
+        #: Pages currently held beyond the boot reservation, per tier.
+        self.ballooned_in: dict[NodeTier, int] = {t: 0 for t in reservations}
+        self.stats = BalloonStats()
+
+    def current_pages(self, tier: NodeTier) -> int:
+        reservation = self.reservations.get(tier)
+        if reservation is None:
+            return 0
+        return reservation.min_pages + self.ballooned_in.get(tier, 0)
+
+    def headroom(self, tier: NodeTier) -> int:
+        """Pages this tier may still balloon in under its max."""
+        reservation = self.reservations.get(tier)
+        if reservation is None:
+            return 0
+        return reservation.max_pages - self.current_pages(tier)
+
+    def request(
+        self, tier: NodeTier, pages: int, allow_fallback: bool = False
+    ) -> dict[NodeTier, int]:
+        """Ask the VMM for ``pages`` of ``tier``; respects the tier max.
+
+        Returns pages granted per tier (fallback grants appear under their
+        own tier).  A zero-value dict means the VMM had nothing to give.
+        """
+        if pages <= 0:
+            return {}
+        capped = min(pages, max(0, self.headroom(tier)))
+        if capped == 0:
+            return {}
+        self.stats.requests += 1
+        granted = self.backend.request_pages(
+            self.domain_id, tier, capped, allow_fallback
+        )
+        for got_tier, got_pages in granted.items():
+            if got_pages < 0:
+                raise ConfigurationError("backend granted negative pages")
+            self.ballooned_in[got_tier] = (
+                self.ballooned_in.get(got_tier, 0) + got_pages
+            )
+            self.stats.granted_pages[got_tier] = (
+                self.stats.granted_pages.get(got_tier, 0) + got_pages
+            )
+        return granted
+
+    def inflate(self, tier: NodeTier, pages: int) -> int:
+        """Return up to ``pages`` of ``tier`` to the VMM (never digging
+        below the boot minimum).  Returns pages actually returned."""
+        if pages <= 0:
+            return 0
+        give = min(pages, self.ballooned_in.get(tier, 0))
+        if give <= 0:
+            return 0
+        self.backend.return_pages(self.domain_id, tier, give)
+        self.ballooned_in[tier] -= give
+        self.stats.returned_pages[tier] = (
+            self.stats.returned_pages.get(tier, 0) + give
+        )
+        return give

@@ -1,0 +1,150 @@
+"""Heterogeneity-aware NUMA node abstraction (Principle 1).
+
+Each memory *type* becomes one guest NUMA node — the paper enables the
+normally-disabled guest NUMA support via the fake-NUMA patch and adds "a
+special flag ... to the node structure" distinguishing memory types.
+:class:`NodeTier` is that flag (with a MEDIUM tier supporting the
+multi-level-memory extension discussed in Section 4.3).
+
+SlowMem nodes carry the classic DMA + NORMAL zone split; FastMem nodes a
+single unified zone (Section 3.1).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError, OutOfMemoryError
+from repro.guestos.zone import Zone, ZoneKind, make_zone, zone_preference
+from repro.hw.memdevice import MemoryDevice
+from repro.mem.extent import PageType
+from repro.mem.frames import FrameRange
+from repro.units import MIB, PAGE_SIZE, pages_of_bytes
+
+#: Size of the DMA zone carved from SlowMem nodes.
+DMA_ZONE_BYTES = 16 * MIB
+
+
+class NodeTier(enum.Enum):
+    """The memory-type flag added to the node structure."""
+
+    FAST = "fastmem"
+    MEDIUM = "mediummem"
+    SLOW = "slowmem"
+
+    @property
+    def rank(self) -> int:
+        """Lower rank = faster tier."""
+        return {"fastmem": 0, "mediummem": 1, "slowmem": 2}[self.value]
+
+
+@dataclass
+class MemoryNode:
+    """One guest NUMA node backed by one memory device."""
+
+    node_id: int
+    tier: NodeTier
+    device: MemoryDevice
+    zones: list[Zone] = field(default_factory=list)
+
+    @property
+    def is_fastmem(self) -> bool:
+        return self.tier is NodeTier.FAST
+
+    @property
+    def total_pages(self) -> int:
+        return sum(zone.total_pages for zone in self.zones)
+
+    @property
+    def free_pages(self) -> int:
+        return sum(zone.free_pages for zone in self.zones)
+
+    @property
+    def used_pages(self) -> int:
+        return self.total_pages - self.free_pages
+
+    @property
+    def under_pressure(self) -> bool:
+        return any(zone.under_pressure for zone in self.zones)
+
+    def zones_for(self, page_type: PageType) -> list[Zone]:
+        """Zones eligible to serve ``page_type``, in preference order."""
+        preference = zone_preference(page_type)
+        by_kind = {zone.kind: zone for zone in self.zones}
+        return [by_kind[kind] for kind in preference if kind in by_kind]
+
+    def allocate_pages(self, pages: int, page_type: PageType) -> list[FrameRange]:
+        """Allocate from the first eligible zone with room; no splitting
+        across zones (matching Linux's zone fallback walk)."""
+        eligible = self.zones_for(page_type)
+        if not eligible:
+            raise OutOfMemoryError(
+                f"node {self.node_id}: no zone serves {page_type.value}"
+            )
+        for zone in eligible:
+            if zone.free_pages >= pages:
+                return zone.buddy.allocate_pages(pages)
+        raise OutOfMemoryError(
+            f"node {self.node_id}: {pages} pages of {page_type.value} "
+            f"not available ({self.free_pages} free)"
+        )
+
+    def allocate_up_to(
+        self, pages: int, page_type: PageType
+    ) -> list[FrameRange]:
+        """Best-effort allocation: take what is available from eligible
+        zones, in preference order; may return fewer pages than asked."""
+        granted: list[FrameRange] = []
+        remaining = pages
+        for zone in self.zones_for(page_type):
+            take = min(remaining, zone.free_pages)
+            if take > 0:
+                granted.extend(zone.buddy.allocate_pages(take))
+                remaining -= take
+            if remaining == 0:
+                break
+        return granted
+
+    def free_pages_for(self, page_type: PageType) -> int:
+        """Free pages in zones eligible to serve ``page_type``."""
+        return sum(zone.free_pages for zone in self.zones_for(page_type))
+
+    def free_ranges(self, ranges: list[FrameRange]) -> None:
+        """Return frame ranges to whichever zone owns them."""
+        for frame_range in ranges:
+            zone = self._zone_owning(frame_range.start)
+            zone.buddy.free_range(frame_range)
+
+    def _zone_owning(self, frame: int) -> Zone:
+        for zone in self.zones:
+            base = zone.buddy.base
+            if base <= frame < base + zone.buddy.total_frames:
+                return zone
+        raise OutOfMemoryError(f"node {self.node_id}: frame {frame} not mine")
+
+
+def build_node(
+    node_id: int,
+    tier: NodeTier,
+    device: MemoryDevice,
+    base_frame: int = 0,
+) -> MemoryNode:
+    """Construct a node with the tier-appropriate zone layout."""
+    total_pages = pages_of_bytes(device.capacity_bytes)
+    if total_pages <= 0:
+        raise ConfigurationError(f"node {node_id}: device has no capacity")
+    node = MemoryNode(node_id=node_id, tier=tier, device=device)
+    if tier is NodeTier.FAST:
+        node.zones.append(make_zone(ZoneKind.UNIFIED, base_frame, total_pages))
+        return node
+    dma_pages = min(DMA_ZONE_BYTES // PAGE_SIZE, max(1, total_pages // 16))
+    normal_pages = total_pages - dma_pages
+    if normal_pages <= 0:
+        node.zones.append(make_zone(ZoneKind.NORMAL, base_frame, total_pages))
+        return node
+    node.zones.append(make_zone(ZoneKind.DMA, base_frame, dma_pages))
+    node.zones.append(
+        make_zone(ZoneKind.NORMAL, base_frame + dma_pages, normal_pages)
+    )
+    return node

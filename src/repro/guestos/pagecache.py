@@ -1,0 +1,118 @@
+"""I/O page cache and buffer cache bookkeeping.
+
+The page cache "plays a crucial role in improving the I/O throughput ...
+by reading ahead I/O pages and buffering dirty blocks" (Section 3.2), and
+its pages are "short-lived and have high reuse, as they are released once
+an I/O is complete" (Observation 3).  This module tracks which extents
+belong to the cache, their dirty state, and — the hook HeteroOS-LRU
+relies on — the *I/O completion* event that turns a cache page inactive
+and eligible for eager FastMem eviction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.errors import AllocationError
+from repro.mem.extent import ExtentState, PageExtent, PageType
+
+#: Callback fired when an extent's I/O completes (HeteroOS-LRU's trigger).
+IoCompleteHook = Callable[[PageExtent], None]
+
+
+@dataclass
+class PageCacheStats:
+    inserted_pages: int = 0
+    completed_pages: int = 0
+    writeback_pages: int = 0
+    dropped_pages: int = 0
+
+
+@dataclass
+class PageCache:
+    """Residency and dirty-state tracking for I/O extents."""
+
+    stats: PageCacheStats = field(default_factory=PageCacheStats)
+
+    def __post_init__(self) -> None:
+        self._resident: dict[int, PageExtent] = {}
+        self._dirty: dict[int, PageExtent] = {}
+        self._io_complete_hooks: list[IoCompleteHook] = []
+
+    @property
+    def resident_pages(self) -> int:
+        return sum(e.pages for e in self._resident.values())
+
+    @property
+    def dirty_pages(self) -> int:
+        return sum(e.pages for e in self._dirty.values())
+
+    def add_io_complete_hook(self, hook: IoCompleteHook) -> None:
+        self._io_complete_hooks.append(hook)
+
+    def insert(self, extent: PageExtent, dirty: bool = False) -> None:
+        """Register a freshly allocated I/O extent."""
+        if not extent.page_type.is_io:
+            raise AllocationError(
+                f"page cache only holds I/O pages, got {extent.page_type.value}"
+            )
+        if extent.extent_id in self._resident:
+            raise AllocationError(f"extent {extent.extent_id} already cached")
+        self._resident[extent.extent_id] = extent
+        if dirty:
+            extent.dirty = True
+            self._dirty[extent.extent_id] = extent
+        self.stats.inserted_pages += extent.pages
+
+    def complete_io(self, extent: PageExtent) -> None:
+        """I/O finished: page goes inactive; hooks may evict it eagerly."""
+        if extent.extent_id not in self._resident:
+            raise AllocationError(f"extent {extent.extent_id} not cached")
+        extent.state = ExtentState.INACTIVE
+        self.stats.completed_pages += extent.pages
+        for hook in self._io_complete_hooks:
+            hook(extent)
+
+    def mark_dirty(self, extent: PageExtent) -> None:
+        if extent.extent_id not in self._resident:
+            raise AllocationError(f"extent {extent.extent_id} not cached")
+        extent.dirty = True
+        self._dirty[extent.extent_id] = extent
+
+    def writeback(self, extent: PageExtent) -> int:
+        """Flush a dirty extent; returns pages written."""
+        entry = self._dirty.pop(extent.extent_id, None)
+        if entry is None:
+            return 0
+        entry.dirty = False
+        self.stats.writeback_pages += entry.pages
+        return entry.pages
+
+    def writeback_all(self) -> int:
+        """Flush every dirty extent; returns pages written."""
+        written = 0
+        for extent in list(self._dirty.values()):
+            written += self.writeback(extent)
+        return written
+
+    def drop(self, extent: PageExtent) -> None:
+        """Remove an extent (its frames are freed by the kernel).
+
+        Dirty extents must be written back first — dropping one is the
+        validity check the guest performs before migration/free that the
+        VMM cannot (Section 4.1, "Page state").
+        """
+        if extent.extent_id in self._dirty:
+            raise AllocationError(
+                f"extent {extent.extent_id} is dirty; writeback before drop"
+            )
+        if self._resident.pop(extent.extent_id, None) is None:
+            raise AllocationError(f"extent {extent.extent_id} not cached")
+        self.stats.dropped_pages += extent.pages
+
+    def is_resident(self, extent: PageExtent) -> bool:
+        return extent.extent_id in self._resident
+
+    def is_dirty(self, extent: PageExtent) -> bool:
+        return extent.extent_id in self._dirty

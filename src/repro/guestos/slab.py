@@ -1,0 +1,167 @@
+"""Slab allocator for kernel objects.
+
+Storage- and network-intensive applications "spend a significant time
+allocating and accessing the OS kernel buffers (slab pages)" — skbuffs for
+the network stack, dentries/inodes for filesystem metadata (Section 3.2).
+HeteroOS prioritizes these slab pages into FastMem; this module provides
+the mechanism those policies act on.
+
+A :class:`SlabCache` obtains whole slabs (page groups) from the kernel via
+a page-source callback, hands out fixed-size objects, and returns empty
+slabs.  The callback indirection keeps this module free of a kernel
+dependency cycle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.errors import AllocationError
+from repro.mem.extent import PageType
+from repro.units import PAGE_SIZE
+
+#: page_source(cache_name, pages, page_type) -> opaque slab token
+PageSource = Callable[[str, int, PageType], object]
+#: page_release(cache_name, token)
+PageRelease = Callable[[str, object], None]
+
+
+@dataclass
+class _Slab:
+    token: object
+    capacity: int
+    used: int = 0
+    free_slots: list[int] = field(default_factory=list)
+
+
+@dataclass
+class SlabStats:
+    allocations: int = 0
+    frees: int = 0
+    slabs_created: int = 0
+    slabs_destroyed: int = 0
+
+
+class SlabCache:
+    """One object-size class (e.g. ``skbuff``)."""
+
+    def __init__(
+        self,
+        name: str,
+        object_size: int,
+        page_source: PageSource,
+        page_release: PageRelease,
+        pages_per_slab: int = 8,
+        page_type: PageType = PageType.SLAB,
+    ) -> None:
+        if object_size <= 0 or object_size > pages_per_slab * PAGE_SIZE:
+            raise AllocationError(
+                f"slab {name!r}: object size {object_size} does not fit a slab"
+            )
+        self.name = name
+        self.object_size = object_size
+        self.pages_per_slab = pages_per_slab
+        self.page_type = page_type
+        self.objects_per_slab = (pages_per_slab * PAGE_SIZE) // object_size
+        self._page_source = page_source
+        self._page_release = page_release
+        self._slabs: dict[int, _Slab] = {}
+        self._partial: list[int] = []  # slab ids with free slots
+        self._next_slab_id = 0
+        self.stats = SlabStats()
+
+    @property
+    def total_pages(self) -> int:
+        return len(self._slabs) * self.pages_per_slab
+
+    @property
+    def live_objects(self) -> int:
+        return sum(slab.used for slab in self._slabs.values())
+
+    def allocate(self) -> tuple[int, int]:
+        """Allocate one object; returns an opaque (slab_id, slot) handle."""
+        slab_id = self._partial[-1] if self._partial else self._grow()
+        slab = self._slabs[slab_id]
+        slot = (
+            slab.free_slots.pop() if slab.free_slots else slab.used
+        )
+        slab.used += 1
+        if slab.used >= slab.capacity and slab_id in self._partial:
+            self._partial.remove(slab_id)
+        self.stats.allocations += 1
+        return (slab_id, slot)
+
+    def free(self, handle: tuple[int, int]) -> None:
+        """Release an object; empty slabs return their pages."""
+        slab_id, slot = handle
+        slab = self._slabs.get(slab_id)
+        if slab is None:
+            raise AllocationError(f"slab {self.name!r}: free of unknown slab")
+        if slot in slab.free_slots or slab.used <= 0:
+            raise AllocationError(f"slab {self.name!r}: double free")
+        slab.used -= 1
+        slab.free_slots.append(slot)
+        self.stats.frees += 1
+        if slab.used == 0:
+            self._page_release(self.name, slab.token)
+            del self._slabs[slab_id]
+            if slab_id in self._partial:
+                self._partial.remove(slab_id)
+            self.stats.slabs_destroyed += 1
+        elif slab_id not in self._partial:
+            self._partial.append(slab_id)
+
+    def _grow(self) -> int:
+        token = self._page_source(self.name, self.pages_per_slab, self.page_type)
+        slab_id = self._next_slab_id
+        self._next_slab_id += 1
+        self._slabs[slab_id] = _Slab(token=token, capacity=self.objects_per_slab)
+        self._partial.append(slab_id)
+        self.stats.slabs_created += 1
+        return slab_id
+
+
+class SlabAllocator:
+    """Registry of slab caches; pre-creates the caches the paper names."""
+
+    #: (name, object size, pages per slab, page type)
+    DEFAULT_CACHES = (
+        ("skbuff", 2048, 8, PageType.NETWORK_BUFFER),
+        ("dentry", 192, 4, PageType.SLAB),
+        ("inode", 1024, 8, PageType.SLAB),
+        ("buffer_head", 104, 4, PageType.SLAB),
+    )
+
+    def __init__(self, page_source: PageSource, page_release: PageRelease) -> None:
+        self._page_source = page_source
+        self._page_release = page_release
+        self.caches: dict[str, SlabCache] = {}
+        for name, size, pages, page_type in self.DEFAULT_CACHES:
+            self.create_cache(name, size, pages_per_slab=pages, page_type=page_type)
+
+    def create_cache(
+        self,
+        name: str,
+        object_size: int,
+        pages_per_slab: int = 8,
+        page_type: PageType = PageType.SLAB,
+    ) -> SlabCache:
+        if name in self.caches:
+            raise AllocationError(f"slab cache {name!r} already exists")
+        cache = SlabCache(
+            name,
+            object_size,
+            self._page_source,
+            self._page_release,
+            pages_per_slab=pages_per_slab,
+            page_type=page_type,
+        )
+        self.caches[name] = cache
+        return cache
+
+    def cache(self, name: str) -> SlabCache:
+        try:
+            return self.caches[name]
+        except KeyError:
+            raise AllocationError(f"no slab cache named {name!r}") from None

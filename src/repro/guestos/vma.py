@@ -1,0 +1,94 @@
+"""Virtual memory areas and the per-process address space.
+
+The guest's VMA list serves two purposes in HeteroOS: it is the source of
+the *tracking list* — "address ranges of contiguous memory regions that
+the VMM should track for hotness ... extract[ed] using the virtual memory
+area (VMA) structure" (Section 4.1) — and the unmap path is one of
+HeteroOS-LRU's eager-demotion triggers ("during an unmap operation,
+several continuous pages in a VMA region are released", Section 3.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.errors import AllocationError
+from repro.mem.extent import PageType
+
+#: Hook fired on munmap with the released VMA (HeteroOS-LRU's trigger).
+UnmapHook = Callable[["Vma"], None]
+
+
+@dataclass(frozen=True)
+class Vma:
+    """One mapped virtual region."""
+
+    start_vpn: int
+    pages: int
+    page_type: PageType
+    region_id: str
+
+    @property
+    def end_vpn(self) -> int:
+        return self.start_vpn + self.pages
+
+
+@dataclass
+class AddressSpace:
+    """A process's mm: bump-pointer mmap, VMA registry, tracking export."""
+
+    next_vpn: int = 0x1000
+    vmas: dict[str, Vma] = field(default_factory=dict)
+    _unmap_hooks: list[UnmapHook] = field(default_factory=list)
+
+    @property
+    def mapped_pages(self) -> int:
+        return sum(vma.pages for vma in self.vmas.values())
+
+    def add_unmap_hook(self, hook: UnmapHook) -> None:
+        self._unmap_hooks.append(hook)
+
+    def mmap(self, region_id: str, pages: int, page_type: PageType) -> Vma:
+        """Map a new region; virtual addresses are bump-allocated."""
+        if pages <= 0:
+            raise AllocationError("mmap of zero pages")
+        if region_id in self.vmas:
+            raise AllocationError(f"region {region_id!r} already mapped")
+        vma = Vma(
+            start_vpn=self.next_vpn,
+            pages=pages,
+            page_type=page_type,
+            region_id=region_id,
+        )
+        self.next_vpn += pages
+        self.vmas[region_id] = vma
+        return vma
+
+    def munmap(self, region_id: str) -> Vma:
+        """Unmap a region; fires the eager-demotion hooks."""
+        vma = self.vmas.pop(region_id, None)
+        if vma is None:
+            raise AllocationError(f"munmap of unmapped region {region_id!r}")
+        for hook in self._unmap_hooks:
+            hook(vma)
+        return vma
+
+    def find(self, vpn: int) -> Vma | None:
+        """VMA containing virtual page ``vpn``, or ``None``."""
+        for vma in self.vmas.values():
+            if vma.start_vpn <= vpn < vma.end_vpn:
+                return vma
+        return None
+
+    def tracking_list(self) -> list[tuple[int, int]]:
+        """Heap VMA (start, pages) ranges worth tracking for hotness.
+
+        I/O cache and kernel-buffer regions are excluded — they go on the
+        exception list instead (Section 4.1).
+        """
+        return [
+            (vma.start_vpn, vma.pages)
+            for vma in self.vmas.values()
+            if vma.page_type is PageType.HEAP
+        ]

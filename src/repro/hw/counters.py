@@ -1,0 +1,51 @@
+"""Hardware performance counters exported by the VMM to the guest.
+
+Section 4.1: "HeteroOS monitors the LLC misses exported by the VMM in each
+epoch and dynamically varies the hotness-tracking and migration interval"
+— Equation 1.  :class:`PerfCounters` is the per-domain counter file: the
+engine records each epoch's LLC misses, and the coordinated policy reads
+the latest delta.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class PerfCounters:
+    """Per-epoch LLC miss history plus running totals."""
+
+    llc_miss_history: list[float] = field(default_factory=list)
+    total_instructions: float = 0.0
+    total_llc_misses: float = 0.0
+
+    def record_epoch(self, llc_misses: float, instructions: float) -> None:
+        self.llc_miss_history.append(llc_misses)
+        self.total_llc_misses += llc_misses
+        self.total_instructions += instructions
+
+    @property
+    def last_llc_misses(self) -> float:
+        return self.llc_miss_history[-1] if self.llc_miss_history else 0.0
+
+    def llc_miss_delta(self) -> float:
+        """Relative change in LLC misses between the last two epochs.
+
+        This is the ``(LLCMiss_i - LLCMiss_{i-1}) / LLCMiss_{i-1}`` term of
+        Equation 1.  Returns 0 when fewer than two epochs were recorded or
+        the previous epoch had no misses.
+        """
+        if len(self.llc_miss_history) < 2:
+            return 0.0
+        previous = self.llc_miss_history[-2]
+        if previous <= 0:
+            return 0.0
+        return (self.llc_miss_history[-1] - previous) / previous
+
+    @property
+    def mpki(self) -> float:
+        """Whole-run misses per kilo-instruction (Table 4 metric)."""
+        if self.total_instructions <= 0:
+            return 0.0
+        return self.total_llc_misses / (self.total_instructions / 1000.0)

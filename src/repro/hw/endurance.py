@@ -1,0 +1,91 @@
+"""NVM endurance accounting.
+
+"The endurance — the lifetime of these technologies — is expected to be
+significantly lower compared to DRAM, which can be critical when using
+them as main memory" (Section 2).  The paper surveys wear-levelling
+fixes (FTL-style remapping, start-gap, write buffers) and HeteroOS's
+own contribution to endurance is indirect: keeping write-heavy pages
+*off* the NVM (the Section 4.3 write-aware extension).
+
+This module provides the accounting those discussions need: a
+:class:`WearTracker` accumulates per-device write traffic during a run,
+and :func:`estimated_lifetime_years` converts a write rate into a
+device-lifetime estimate under a given wear-levelling efficiency — the
+metric by which placement policies can be compared for endurance
+impact (see the endurance ablation benchmark).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+from repro.hw.memdevice import MemoryDevice
+from repro.units import NS_PER_SEC
+
+SECONDS_PER_YEAR = 365.25 * 24 * 3600
+
+
+def estimated_lifetime_years(
+    device: MemoryDevice,
+    write_bytes_per_sec: float,
+    wear_leveling_efficiency: float = 0.9,
+) -> float:
+    """Years until the device exhausts its write endurance.
+
+    ``wear_leveling_efficiency`` is the fraction of the ideal
+    capacity × endurance write budget a real wear-leveller achieves
+    (start-gap reaches ~90%, naive placement far less).  Returns
+    ``inf`` for devices without an endurance limit (DRAM) or when no
+    writes occur.
+    """
+    if not 0.0 < wear_leveling_efficiency <= 1.0:
+        raise ConfigurationError("wear-levelling efficiency must be in (0,1]")
+    if device.endurance_cycles is None or write_bytes_per_sec <= 0:
+        return float("inf")
+    write_budget_bytes = (
+        device.capacity_bytes
+        * device.endurance_cycles
+        * wear_leveling_efficiency
+    )
+    return write_budget_bytes / write_bytes_per_sec / SECONDS_PER_YEAR
+
+
+@dataclass
+class WearTracker:
+    """Cumulative write-byte counters per device."""
+
+    write_bytes: dict[str, float] = field(default_factory=dict)
+    _devices: dict[str, MemoryDevice] = field(default_factory=dict)
+
+    def record(self, device: MemoryDevice, write_bytes: float) -> None:
+        if write_bytes < 0:
+            raise ConfigurationError("write bytes must be non-negative")
+        self.write_bytes[device.name] = (
+            self.write_bytes.get(device.name, 0.0) + write_bytes
+        )
+        self._devices[device.name] = device
+
+    def write_rate(self, device_name: str, elapsed_ns: float) -> float:
+        """Average write bytes/second over ``elapsed_ns``."""
+        if elapsed_ns <= 0:
+            return 0.0
+        return self.write_bytes.get(device_name, 0.0) / (
+            elapsed_ns / NS_PER_SEC
+        )
+
+    def lifetime_years(
+        self,
+        device_name: str,
+        elapsed_ns: float,
+        wear_leveling_efficiency: float = 0.9,
+    ) -> float:
+        """Projected lifetime if the observed write rate persisted."""
+        device = self._devices.get(device_name)
+        if device is None:
+            return float("inf")
+        return estimated_lifetime_years(
+            device,
+            self.write_rate(device_name, elapsed_ns),
+            wear_leveling_efficiency,
+        )

@@ -1,0 +1,142 @@
+"""DRAM throttling emulation of SlowMem (paper Section 2.1, Table 3).
+
+The paper emulates SlowMem by programming the PCI thermal registers of one
+DRAM socket, which raises effective latency by a factor *x* and cuts
+bandwidth by a factor *y*; a configuration is written ``L:x, B:y``.  Table 3
+reports the *measured* latency/bandwidth at four calibration points — note
+the measured latency at ``L:5,B:12`` (960 ns) is far above 5 × 60 ns
+because bandwidth starvation queues requests.
+
+:func:`throttled_device` reproduces that behaviour: exact Table 3 values at
+the calibration points, piecewise-linear interpolation of the queueing
+inflation between them, and plain factor scaling outside the measured
+range.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.hw.memdevice import DRAM, MemoryDevice, MemoryKind
+
+
+@dataclass(frozen=True)
+class ThrottleConfig:
+    """An ``L:x, B:y`` throttle setting.
+
+    ``latency_factor`` multiplies the base device's latency and
+    ``bandwidth_factor`` divides its bandwidth, before queueing inflation.
+    """
+
+    latency_factor: float
+    bandwidth_factor: float
+
+    def __post_init__(self) -> None:
+        if self.latency_factor < 1.0 or self.bandwidth_factor < 1.0:
+            raise ConfigurationError(
+                "throttle factors must be >= 1 "
+                f"(got L:{self.latency_factor}, B:{self.bandwidth_factor})"
+            )
+
+    @property
+    def label(self) -> str:
+        """The paper's ``L:x,B:y`` notation."""
+
+        def fmt(value: float) -> str:
+            return str(int(value)) if float(value).is_integer() else str(value)
+
+        return f"L:{fmt(self.latency_factor)},B:{fmt(self.bandwidth_factor)}"
+
+
+#: Table 3 calibration points: (L, B) -> (measured latency ns, measured GB/s).
+TABLE3_PRESETS: dict[tuple[int, int], tuple[float, float]] = {
+    (1, 1): (60.0, 24.0),
+    (2, 2): (128.0, 12.4),
+    (5, 5): (354.0, 5.1),
+    (5, 12): (960.0, 1.38),
+}
+
+#: The evaluation's default SlowMem setting: "bandwidth by ~9x and latency
+#: by ~5x based on the industrial projections" (Section 5.1).
+DEFAULT_SLOWMEM = ThrottleConfig(latency_factor=5.0, bandwidth_factor=9.0)
+
+#: Figure 1's x-axis sweep, in order.
+FIGURE1_SWEEP: tuple[ThrottleConfig, ...] = (
+    ThrottleConfig(2, 2),
+    ThrottleConfig(5, 5),
+    ThrottleConfig(5, 7),
+    ThrottleConfig(5, 9),
+    ThrottleConfig(5, 12),
+)
+
+
+def _queueing_inflation(latency_factor: float, bandwidth_factor: float) -> float:
+    """Latency inflation beyond plain ``base * L`` caused by starving BW.
+
+    Calibrated from Table 3: at ``L:5`` the measured latency grows from
+    354 ns (B:5) to 960 ns (B:12), i.e. inflation 1.18 -> 3.20 over plain
+    5 × 60 ns.  We interpolate that growth linearly in the bandwidth factor
+    and anchor the low end at the measured (2,2) and (1,1) points.
+    """
+    anchors = [  # (bandwidth_factor, inflation over base*L)
+        (1.0, 1.0),
+        (2.0, 128.0 / 120.0),
+        (5.0, 354.0 / 300.0),
+        (12.0, 960.0 / 300.0),
+    ]
+    b = bandwidth_factor
+    if b <= anchors[0][0]:
+        return anchors[0][1]
+    for (b_lo, f_lo), (b_hi, f_hi) in zip(anchors, anchors[1:]):
+        if b <= b_hi:
+            t = (b - b_lo) / (b_hi - b_lo)
+            return f_lo + t * (f_hi - f_lo)
+    # Beyond the measured range: extrapolate the last segment's slope.
+    (b_lo, f_lo), (b_hi, f_hi) = anchors[-2], anchors[-1]
+    slope = (f_hi - f_lo) / (b_hi - b_lo)
+    return f_hi + (b - b_hi) * slope
+
+
+def throttled_device(
+    config: ThrottleConfig,
+    base: MemoryDevice = DRAM,
+    name: str | None = None,
+    capacity_bytes: int | None = None,
+) -> MemoryDevice:
+    """Derive an emulated SlowMem device from ``base`` under ``config``.
+
+    Exact Table 3 measurements are used when ``config`` matches a
+    calibration point and ``base`` is stock DRAM; otherwise latency is
+    ``base * L`` inflated by the interpolated queueing factor, and
+    bandwidth is ``base / B``.
+    """
+    key = (int(config.latency_factor), int(config.bandwidth_factor))
+    exact = (
+        TABLE3_PRESETS.get(key)
+        if base.load_latency_ns == DRAM.load_latency_ns
+        and base.bandwidth_gbps == DRAM.bandwidth_gbps
+        and key == (config.latency_factor, config.bandwidth_factor)
+        else None
+    )
+    if exact is not None:
+        latency_ns, bandwidth = exact
+    else:
+        inflation = _queueing_inflation(
+            config.latency_factor, config.bandwidth_factor
+        )
+        latency_ns = base.load_latency_ns * config.latency_factor * inflation
+        bandwidth = base.bandwidth_gbps / config.bandwidth_factor
+    store_ratio = base.store_latency_ns / base.load_latency_ns
+    return MemoryDevice(
+        name=name or f"throttled({config.label})",
+        kind=MemoryKind.GENERIC_SLOW,
+        load_latency_ns=latency_ns,
+        store_latency_ns=latency_ns * store_ratio,
+        bandwidth_gbps=bandwidth,
+        capacity_bytes=(
+            capacity_bytes if capacity_bytes is not None else base.capacity_bytes
+        ),
+        density_factor=base.density_factor,
+        endurance_cycles=base.endurance_cycles,
+    )

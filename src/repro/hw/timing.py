@@ -1,0 +1,91 @@
+"""Roofline memory timing model.
+
+Per epoch, per device, the stall time charged to the application is
+
+    stall = max( latency-bound term, bandwidth-bound term )
+
+* latency term: ``misses x device latency / MLP`` — outstanding misses
+  overlap up to the workload's memory-level parallelism;
+* bandwidth term: ``traffic bytes / device bandwidth`` — a physical floor
+  no amount of parallelism can beat.
+
+This single ``max`` reproduces the paper's Observation 1: multi-threaded
+graph engines that "process and move data in batches" are bandwidth-bound
+and keep slowing down as B grows at fixed L, while low-MLP pointer-chasing
+workloads are latency-bound and barely notice bandwidth cuts.
+
+Total epoch time = CPU time + sum of per-device stalls + software
+management overheads (charged separately by the engine).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.hw.memdevice import MemoryDevice
+
+
+@dataclass(frozen=True)
+class CpuConfig:
+    """Core model matching the evaluation platform (16-core 2.67 GHz Xeon)."""
+
+    frequency_ghz: float = 2.67
+    ipc: float = 2.0
+    cores: int = 16
+
+    def __post_init__(self) -> None:
+        if self.frequency_ghz <= 0 or self.ipc <= 0 or self.cores <= 0:
+            raise ConfigurationError("CPU parameters must be positive")
+
+    def cpu_ns(self, instructions: float) -> float:
+        """Pure-compute time for ``instructions`` (no memory stalls)."""
+        return instructions / (self.ipc * self.frequency_ghz)
+
+
+@dataclass(frozen=True)
+class DeviceDemand:
+    """Aggregated per-device memory demand for one epoch."""
+
+    read_misses: float = 0.0
+    write_misses: float = 0.0
+    traffic_bytes: float = 0.0
+
+    def merged(self, other: "DeviceDemand") -> "DeviceDemand":
+        return DeviceDemand(
+            read_misses=self.read_misses + other.read_misses,
+            write_misses=self.write_misses + other.write_misses,
+            traffic_bytes=self.traffic_bytes + other.traffic_bytes,
+        )
+
+
+class MemoryTimingModel:
+    """Converts per-device miss demand into stall nanoseconds."""
+
+    def __init__(self, cpu: CpuConfig | None = None) -> None:
+        self.cpu = cpu or CpuConfig()
+
+    def stall_ns(
+        self, device: MemoryDevice, demand: DeviceDemand, mlp: float
+    ) -> float:
+        """Stall time for ``demand`` served by ``device`` at MLP ``mlp``."""
+        if mlp <= 0:
+            raise ConfigurationError(f"MLP must be positive, got {mlp}")
+        latency_term = (
+            demand.read_misses * device.load_latency_ns
+            + demand.write_misses * device.store_latency_ns
+        ) / mlp
+        bandwidth_term = demand.traffic_bytes / device.bytes_per_ns
+        return max(latency_term, bandwidth_term)
+
+    def epoch_ns(
+        self,
+        instructions: float,
+        demands: dict[MemoryDevice, DeviceDemand],
+        mlp: float,
+    ) -> float:
+        """Total epoch time: compute plus all device stalls."""
+        total = self.cpu.cpu_ns(instructions)
+        for device, demand in demands.items():
+            total += self.stall_ns(device, demand, mlp)
+        return total

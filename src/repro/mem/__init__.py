@@ -1,0 +1,17 @@
+"""Machine memory mechanics: frames, extents, page tables, reverse map."""
+
+from repro.mem.frames import FramePool, FrameRange
+from repro.mem.extent import ExtentState, PageExtent, PageType
+from repro.mem.pagetable import PageTable, PageTableEntry
+from repro.mem.rmap import ReverseMap
+
+__all__ = [
+    "FramePool",
+    "FrameRange",
+    "PageExtent",
+    "PageType",
+    "ExtentState",
+    "PageTable",
+    "PageTableEntry",
+    "ReverseMap",
+]

@@ -1,0 +1,131 @@
+"""Page extents: the unit of placement and accounting.
+
+Simulating five million individual page structs per application (Figure 4's
+totals) is neither necessary nor tractable in Python.  The OS in this
+reproduction manages pages in *extents* — groups of same-typed pages from
+one logical workload region that live on one memory node.  All per-page
+costs (PTE scans, TLB flushes, migration copies) are still charged per
+page; only the bookkeeping is grouped.
+
+:class:`PageType` mirrors the kernel page classes the paper's placement
+logic distinguishes (Figure 4 and Section 3.2): anonymous heap, I/O page
+cache, buffer cache, slab, network (skbuff) slab, page-table, and DMA
+pages.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+
+from repro.errors import AllocationError
+from repro.mem.frames import FrameRange
+from repro.units import PAGE_SIZE
+
+
+class PageType(enum.Enum):
+    """Kernel page classes distinguished by HeteroOS placement."""
+
+    HEAP = "heap"
+    PAGE_CACHE = "page-cache"
+    BUFFER_CACHE = "buffer-cache"
+    SLAB = "slab"
+    NETWORK_BUFFER = "nw-buff"
+    PAGE_TABLE = "pagetable"
+    DMA = "dma"
+
+    @property
+    def is_io(self) -> bool:
+        """Short-lived I/O pages released once the request completes."""
+        return self in (PageType.PAGE_CACHE, PageType.BUFFER_CACHE)
+
+    @property
+    def is_migratable(self) -> bool:
+        """Linearly-mapped page-table and DMA pages cannot migrate
+        (Section 4.1's exception list)."""
+        return self not in (PageType.PAGE_TABLE, PageType.DMA)
+
+
+class ExtentState(enum.Enum):
+    """Split-LRU state (Linux active/inactive lists)."""
+
+    ACTIVE = "active"
+    INACTIVE = "inactive"
+    UNEVICTABLE = "unevictable"
+
+
+_extent_ids = itertools.count(1)
+
+
+@dataclass
+class PageExtent:
+    """A group of pages of one type on one node.
+
+    Attributes
+    ----------
+    region_id:
+        The workload region these pages back (access accounting key).
+    node_id:
+        Guest NUMA node currently holding the pages.
+    frames:
+        Machine frame ranges backing the extent.
+    temperature:
+        EWMA of per-epoch access counts; the hotness signal trackers read.
+    state:
+        LRU list membership.
+    accessed / dirty:
+        Sticky per-epoch hardware bits (cleared by scans, like PTE bits).
+    """
+
+    region_id: str
+    page_type: PageType
+    pages: int
+    node_id: int
+    frames: list[FrameRange] = field(default_factory=list)
+    extent_id: int = field(default_factory=lambda: next(_extent_ids))
+    state: ExtentState = ExtentState.ACTIVE
+    temperature: float = 0.0
+    #: EWMA of per-epoch *write* counts (PAGE_RW-bit tracking, §4.3).
+    write_temperature: float = 0.0
+    accessed: bool = False
+    dirty: bool = False
+    #: True while the extent's pages live on the swap device (reclaimed).
+    swapped: bool = False
+    birth_epoch: int = 0
+    last_access_epoch: int = -1
+
+    def __post_init__(self) -> None:
+        if self.pages <= 0:
+            raise AllocationError("extent must contain at least one page")
+
+    @property
+    def bytes(self) -> int:
+        return self.pages * PAGE_SIZE
+
+    def record_access(
+        self,
+        epoch: int,
+        accesses: float,
+        decay: float = 0.5,
+        writes: float = 0.0,
+    ) -> None:
+        """Fold one epoch's access count into the hotness EWMA and set the
+        hardware-visible accessed bit when any access occurred.
+
+        ``writes`` feeds a separate write-temperature EWMA — the signal
+        the Section 4.3 write-aware NVM extension tracks by periodically
+        resetting the PAGE_RW bit.
+        """
+        self.temperature = self.temperature * decay + accesses
+        self.write_temperature = self.write_temperature * decay + writes
+        if accesses > 0:
+            self.accessed = True
+            self.last_access_epoch = epoch
+
+    def clear_hardware_bits(self) -> tuple[bool, bool]:
+        """Read-and-clear the (accessed, dirty) bits, as a PTE scan does."""
+        bits = (self.accessed, self.dirty)
+        self.accessed = False
+        self.dirty = False
+        return bits

@@ -1,0 +1,127 @@
+"""Radix (x86-style 4-level) page table with access/dirty bits.
+
+The guest maps virtual page numbers to (extent, offset) pairs.  Software
+hotness tracking works exactly as described in Section 2.3: scan a range
+of PTEs, record and clear the access bit, and rely on a TLB flush to force
+the hardware to set bits again on the next touch.
+
+The engine charges scan/walk costs analytically (see
+:mod:`repro.vmm.migration` for the batch-size-dependent cost model), so
+this structure is exercised directly by the guest kernel's mapping
+bookkeeping and by tests; it is a real radix tree, not a flat dict, so the
+walk-depth accounting is honest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.errors import AllocationError
+
+#: 9 bits per level, 4 levels: the x86-64 small-page layout.
+LEVEL_BITS = 9
+LEVELS = 4
+FANOUT = 1 << LEVEL_BITS
+
+
+@dataclass
+class PageTableEntry:
+    """A leaf PTE."""
+
+    extent_id: int
+    present: bool = True
+    accessed: bool = False
+    dirty: bool = False
+    writable: bool = True
+
+
+def _indices(vpn: int) -> tuple[int, ...]:
+    """Per-level radix indices for ``vpn``, root first."""
+    parts = []
+    for level in reversed(range(LEVELS)):
+        parts.append((vpn >> (level * LEVEL_BITS)) & (FANOUT - 1))
+    return tuple(parts)
+
+
+class PageTable:
+    """4-level radix table from virtual page number to PTE."""
+
+    def __init__(self) -> None:
+        self._root: dict = {}
+        self.mapped_pages = 0
+        #: Interior nodes created; proxies the page-table-page footprint.
+        self.interior_nodes = 1
+
+    def map_range(self, vpn: int, count: int, extent_id: int) -> None:
+        """Map ``[vpn, vpn+count)`` to ``extent_id``; pages must be unmapped."""
+        if count <= 0:
+            raise AllocationError("map count must be positive")
+        for page in range(vpn, vpn + count):
+            node = self._root
+            for index in _indices(page)[:-1]:
+                nxt = node.get(index)
+                if nxt is None:
+                    nxt = {}
+                    node[index] = nxt
+                    self.interior_nodes += 1
+                node = nxt
+            leaf_index = _indices(page)[-1]
+            if leaf_index in node:
+                raise AllocationError(f"vpn {page} already mapped")
+            node[leaf_index] = PageTableEntry(extent_id=extent_id)
+        self.mapped_pages += count
+
+    def unmap_range(self, vpn: int, count: int) -> None:
+        """Unmap ``[vpn, vpn+count)``; pages must be mapped."""
+        if count <= 0:
+            raise AllocationError("unmap count must be positive")
+        for page in range(vpn, vpn + count):
+            node = self._root
+            path = _indices(page)
+            for index in path[:-1]:
+                node = node.get(index)
+                if node is None:
+                    raise AllocationError(f"vpn {page} not mapped")
+            if path[-1] not in node:
+                raise AllocationError(f"vpn {page} not mapped")
+            del node[path[-1]]
+        self.mapped_pages -= count
+
+    def walk(self, vpn: int) -> PageTableEntry | None:
+        """Translate one page; returns ``None`` on a translation hole."""
+        node = self._root
+        path = _indices(vpn)
+        for index in path[:-1]:
+            node = node.get(index)
+            if node is None:
+                return None
+        entry = node.get(path[-1])
+        return entry if isinstance(entry, PageTableEntry) else entry
+
+    def touch(self, vpn: int, write: bool = False) -> None:
+        """Set access (and dirty) bits, as the hardware walker would."""
+        entry = self.walk(vpn)
+        if entry is None:
+            raise AllocationError(f"touch of unmapped vpn {vpn}")
+        entry.accessed = True
+        if write:
+            entry.dirty = True
+
+    def scan_and_clear(self, vpn: int, count: int) -> int:
+        """Hotness scan: count accessed pages in range and clear the bits.
+
+        Unmapped holes are skipped (a real scanner checks present bits).
+        """
+        accessed = 0
+        for entry in self._iter_range(vpn, count):
+            if entry.accessed:
+                accessed += 1
+                entry.accessed = False
+        return accessed
+
+    def _iter_range(self, vpn: int, count: int) -> Iterator[PageTableEntry]:
+        for page in range(vpn, vpn + count):
+            entry = self.walk(page)
+            if entry is not None:
+                yield entry

@@ -1,0 +1,80 @@
+"""Reverse map: machine frame -> (domain, extent).
+
+HeteroVisor "implements ... a VMM-level page reverse map for quick page
+table walk, similar to non-virtualized OSes" (Section 2.3).  The reverse
+map lets the hotness tracker and migration engine locate the owner of a
+frame range without a forward page-table search; its presence cuts the
+per-page walk cost (the migration cost model charges the cheaper rmap-
+assisted rate when a reverse map is registered).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import MigrationError
+from repro.mem.frames import FrameRange
+
+
+@dataclass(frozen=True)
+class RmapOwner:
+    """Identity of the extent owning a frame range."""
+
+    domain_id: int
+    extent_id: int
+
+
+class ReverseMap:
+    """Interval map from machine frame ranges to owning extents."""
+
+    def __init__(self) -> None:
+        #: start frame -> (FrameRange, RmapOwner); ranges are disjoint.
+        self._by_start: dict[int, tuple[FrameRange, RmapOwner]] = {}
+        self._sorted_starts: list[int] = []
+        self._dirty_order = False
+
+    def register(self, frames: FrameRange, owner: RmapOwner) -> None:
+        """Record ownership of ``frames``; must not overlap existing entries."""
+        existing = self._locate(frames.start)
+        if existing is not None and existing[0].overlaps(frames):
+            raise MigrationError(f"rmap overlap registering {frames}")
+        if frames.start in self._by_start:
+            raise MigrationError(f"rmap duplicate start {frames.start}")
+        self._by_start[frames.start] = (frames, owner)
+        self._sorted_starts.append(frames.start)
+        self._dirty_order = True
+
+    def unregister(self, frames: FrameRange) -> None:
+        """Drop the entry registered at exactly ``frames.start``."""
+        entry = self._by_start.pop(frames.start, None)
+        if entry is None or entry[0] != frames:
+            raise MigrationError(f"rmap unregister of unknown range {frames}")
+        self._sorted_starts.remove(frames.start)
+
+    def lookup(self, frame: int) -> RmapOwner | None:
+        """Owner of machine frame ``frame``, or ``None``."""
+        entry = self._locate(frame)
+        if entry is None:
+            return None
+        frames, owner = entry
+        return owner if frames.start <= frame < frames.end else None
+
+    def _locate(self, frame: int) -> tuple[FrameRange, RmapOwner] | None:
+        """Entry whose start is the greatest start <= frame."""
+        if self._dirty_order:
+            self._sorted_starts.sort()
+            self._dirty_order = False
+        starts = self._sorted_starts
+        lo, hi = 0, len(starts)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if starts[mid] <= frame:
+                lo = mid + 1
+            else:
+                hi = mid
+        if lo == 0:
+            return None
+        return self._by_start[starts[lo - 1]]
+
+    def __len__(self) -> int:
+        return len(self._by_start)

@@ -1,0 +1,29 @@
+"""Simulation engines: single-VM epoch loop, multi-VM sharing, runner API."""
+
+from repro.sim.stats import RunResult, RunStats, gain_percent, slowdown_factor
+from repro.sim.engine import SimulationEngine, build_custom_vm, build_single_vm
+from repro.sim.runner import run_experiment
+from repro.sim.multi_vm import MultiVmSimulation, VmSpec
+from repro.sim.trace import (
+    TraceWorkload,
+    load_trace,
+    record_trace,
+    save_trace,
+)
+
+__all__ = [
+    "RunStats",
+    "RunResult",
+    "gain_percent",
+    "slowdown_factor",
+    "SimulationEngine",
+    "build_single_vm",
+    "build_custom_vm",
+    "run_experiment",
+    "MultiVmSimulation",
+    "VmSpec",
+    "TraceWorkload",
+    "record_trace",
+    "save_trace",
+    "load_trace",
+]

@@ -1,0 +1,364 @@
+"""Single-VM epoch-driven simulation engine.
+
+Each epoch the engine:
+
+1. resets the kernel's per-epoch statistics and runs the policy's
+   epoch-start hook (budget computation);
+2. applies the workload's frees and allocations, routing every region
+   through the policy's node preference and reporting grants back via
+   ``on_allocated``;
+3. records the accesses (LRU recency, extent temperatures, access bits,
+   swap-ins);
+4. feeds the epoch's region accesses through the LLC model, splits the
+   resulting misses across memory devices by extent placement, and
+   exports the LLC-miss count over the coordination channel (Eq. 1);
+5. runs the policy's epoch-end hook (LRU demotions, hotness scans,
+   migrations) whose cost — plus kernel-internal swap costs — is charged
+   as software-management overhead;
+6. advances virtual time: CPU + I/O wait + per-device stalls + overhead.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.config import SimConfig
+from repro.core.policy import PlacementPolicy, PolicyBinding
+from repro.errors import OutOfMemoryError
+from repro.guestos.balloon import TierReservation
+from repro.guestos.kernel import GuestKernel
+from repro.guestos.numa import NodeTier
+from repro.hw.cache import LastLevelCache, RegionAccess
+from repro.hw.endurance import WearTracker
+from repro.hw.memdevice import MemoryDevice
+from repro.hw.timing import DeviceDemand, MemoryTimingModel
+from repro.mem.extent import PageType
+from repro.sim.stats import RunResult, RunStats
+from repro.units import PAGE_SIZE
+from repro.vmm.domain import Domain
+from repro.vmm.hypervisor import Hypervisor
+from repro.vmm.sharing import MaxMinSharing
+from repro.workloads.base import EpochDemand, RegionSpec, Workload
+
+
+def build_single_vm(
+    config: SimConfig,
+) -> tuple[Hypervisor, Domain, GuestKernel]:
+    """Construct a hypervisor hosting exactly one fully-reserved guest."""
+    devices: dict[NodeTier, MemoryDevice] = {
+        NodeTier.SLOW: config.resolved_slow_device()
+    }
+    if config.fast_pages > 0:
+        devices[NodeTier.FAST] = config.resolved_fast_device()
+    return build_custom_vm(devices, config)
+
+
+def build_custom_vm(
+    devices: dict[NodeTier, MemoryDevice],
+    config: SimConfig | None = None,
+) -> tuple[Hypervisor, Domain, GuestKernel]:
+    """Construct a single fully-reserved guest over arbitrary tiers.
+
+    Useful for multi-level-memory experiments (FAST + MEDIUM + SLOW
+    nodes, Section 4.3) where :class:`SimConfig`'s two-tier shorthand
+    does not apply; each device's capacity becomes its tier's
+    reservation.
+    """
+    config = config or SimConfig()
+    from repro.units import pages_of_bytes
+
+    reservations: dict[NodeTier, TierReservation] = {
+        tier: TierReservation(
+            pages_of_bytes(device.capacity_bytes),
+            pages_of_bytes(device.capacity_bytes),
+        )
+        for tier, device in devices.items()
+    }
+    hypervisor = Hypervisor(
+        devices,
+        sharing_policy=MaxMinSharing(),
+        hotness_config=config.hotness_config,  # type: ignore[arg-type]
+    )
+    domain = hypervisor.create_domain("vm0", reservations)
+    nodes = hypervisor.build_guest_nodes(domain)
+    kernel = GuestKernel(
+        nodes,
+        cpus=config.cpus,
+        balloon=hypervisor.make_balloon_frontend(domain),
+    )
+    hypervisor.attach_kernel(domain, kernel)
+    return hypervisor, domain, kernel
+
+
+class SimulationEngine:
+    """Drives one workload over one guest under one placement policy."""
+
+    def __init__(
+        self,
+        config: SimConfig,
+        workload: Workload,
+        policy: PlacementPolicy,
+        hypervisor: Hypervisor | None = None,
+        domain: Domain | None = None,
+        kernel: GuestKernel | None = None,
+        record_timeseries: bool = False,
+    ) -> None:
+        self.config = config
+        self.workload = workload
+        self.policy = policy
+        if hypervisor is None or domain is None or kernel is None:
+            hypervisor, domain, kernel = build_single_vm(config)
+        self.hypervisor = hypervisor
+        self.domain = domain
+        self.kernel = kernel
+        self.cache = LastLevelCache(config.llc)
+        self.timing = MemoryTimingModel(config.cpu)
+        self.wear = WearTracker()
+        self.rng = random.Random(config.seed)
+        self.record_timeseries = record_timeseries
+        #: Per-epoch samples when ``record_timeseries`` is set.
+        self.timeseries: list[dict] = []
+        self.region_specs: dict[str, RegionSpec] = {}
+        self.stats = RunStats()
+        policy.bind(
+            PolicyBinding(
+                kernel=kernel, hypervisor=hypervisor, domain=domain,
+                rng=self.rng,
+            )
+        )
+        #: The slowest device, used to account swapped extents' misses.
+        self._slowest_device = min(
+            (node.device for node in kernel.nodes.values()),
+            key=lambda d: d.bandwidth_gbps,
+        )
+
+    # ------------------------------------------------------------------
+    # Run loop
+    # ------------------------------------------------------------------
+
+    def run(self, epochs: int | None = None) -> RunResult:
+        count = epochs if epochs is not None else self.workload.default_epochs()
+        for demand in self.workload.epochs(count):
+            self.step(demand)
+        return self.result()
+
+    def step(self, demand: EpochDemand) -> None:
+        """Advance one epoch."""
+        epoch = demand.epoch
+        kernel = self.kernel
+        kernel.begin_epoch(epoch)
+        overhead_ns = self.policy.on_epoch_start(epoch)
+
+        self._apply_frees(demand)
+        self._apply_allocs(demand)
+        self._apply_touches(demand)
+
+        device_demands, llc_misses = self._memory_demands(demand)
+        channel = self.hypervisor.channel(self.domain.domain_id)
+        channel.vmm_record_epoch(llc_misses, demand.instructions)
+        self.policy.on_llc_sample(llc_misses, demand.instructions)
+
+        overhead_ns += self.policy.on_epoch_end(epoch)
+        kernel_cost_ns = kernel.drain_pending_cost()
+
+        cpu_ns = self.timing.cpu.cpu_ns(demand.instructions)
+        stall_total = 0.0
+        for device, device_demand in device_demands.items():
+            stall = self.timing.stall_ns(device, device_demand, self.workload.mlp)
+            self.stats.add_stall(device.name, stall)
+            stall_total += stall
+
+        self.stats.epochs += 1
+        self.stats.cpu_ns += cpu_ns
+        self.stats.io_wait_ns += demand.io_wait_ns
+        self.stats.policy_overhead_ns += overhead_ns
+        self.stats.kernel_cost_ns += kernel_cost_ns
+        self.stats.instructions += demand.instructions
+        self.stats.llc_misses += llc_misses
+        self.stats.traffic_bytes += sum(
+            d.traffic_bytes for d in device_demands.values()
+        )
+        self.stats.total_accesses += sum(
+            reads + writes for reads, writes in demand.accesses.values()
+        )
+        epoch_runtime_ns = (
+            cpu_ns + demand.io_wait_ns + stall_total + overhead_ns
+            + kernel_cost_ns
+        )
+        self.stats.runtime_ns += epoch_runtime_ns
+
+        if self.record_timeseries:
+            fast_pages = sum(
+                kernel.nodes[nid].used_pages for nid in kernel.fast_node_ids
+            )
+            fast_stall = sum(
+                self.timing.stall_ns(d, dd, self.workload.mlp)
+                for d, dd in device_demands.items()
+                if any(
+                    kernel.nodes[nid].device == d
+                    for nid in kernel.fast_node_ids
+                )
+            )
+            self.timeseries.append(
+                {
+                    "epoch": epoch,
+                    "runtime_ns": epoch_runtime_ns,
+                    "llc_misses": llc_misses,
+                    "fast_used_pages": fast_pages,
+                    "fast_stall_fraction": (
+                        fast_stall / stall_total if stall_total else 0.0
+                    ),
+                    "overhead_ns": overhead_ns + kernel_cost_ns,
+                }
+            )
+
+    # ------------------------------------------------------------------
+    # Demand application
+    # ------------------------------------------------------------------
+
+    def _apply_frees(self, demand: EpochDemand) -> None:
+        for region_id in demand.frees:
+            if self.kernel.has_region(region_id):
+                self.kernel.free_region(region_id)
+            self.region_specs.pop(region_id, None)
+
+    def _apply_allocs(self, demand: EpochDemand) -> None:
+        kernel = self.kernel
+        for region_id, spec in demand.allocs:
+            preference = self.policy.node_preference(spec.page_type)
+            try:
+                extents = kernel.allocate_region(
+                    region_id, spec.page_type, spec.pages, preference
+                )
+            except OutOfMemoryError:
+                extents = self._allocate_under_pressure(
+                    region_id, spec, preference
+                )
+                if extents is None:
+                    self.stats.dropped_allocation_pages += spec.pages
+                    continue
+            fast_pages = sum(
+                extent.pages
+                for extent in extents
+                if kernel.nodes[extent.node_id].is_fastmem
+            )
+            self.policy.on_allocated(spec.page_type, spec.pages, fast_pages)
+            self.region_specs[region_id] = spec
+
+    def _allocate_under_pressure(
+        self, region_id: str, spec: RegionSpec, preference: list[int]
+    ):
+        """Genuine OOM path: reclaim (swap out cold pages) and retry once
+        — what a real guest's direct reclaim does.  Returns ``None`` when
+        even reclaim cannot make room."""
+        kernel = self.kernel
+        for node_id in kernel.slow_node_ids or list(kernel.nodes):
+            kernel.shrink_node(node_id, spec.pages)
+        try:
+            return kernel.allocate_region(
+                region_id, spec.page_type, spec.pages, preference
+            )
+        except OutOfMemoryError:
+            return None
+
+    def _apply_touches(self, demand: EpochDemand) -> None:
+        for region_id, (reads, writes) in demand.accesses.items():
+            if self.kernel.has_region(region_id):
+                self.kernel.touch_region(
+                    region_id, reads + writes, writes=writes
+                )
+
+    # ------------------------------------------------------------------
+    # Cache + placement accounting
+    # ------------------------------------------------------------------
+
+    def _memory_demands(
+        self, demand: EpochDemand
+    ) -> tuple[dict[MemoryDevice, DeviceDemand], float]:
+        kernel = self.kernel
+        region_accesses: list[RegionAccess] = []
+        placements: dict[str, dict[MemoryDevice, float]] = {}
+        for region_id, (reads, writes) in demand.accesses.items():
+            if not kernel.has_region(region_id):
+                continue
+            spec = self.region_specs.get(region_id)
+            if spec is None:
+                continue
+            extents = kernel.region_extents(region_id)
+            pages = sum(extent.pages for extent in extents)
+            if pages == 0:
+                continue
+            region_accesses.append(
+                RegionAccess(
+                    region_id=region_id,
+                    footprint_bytes=pages * PAGE_SIZE,
+                    reads=reads,
+                    writes=writes,
+                    reuse=spec.reuse,
+                    bytes_per_miss=spec.bytes_per_miss,
+                )
+            )
+            fractions: dict[MemoryDevice, float] = {}
+            for extent in extents:
+                device = (
+                    self._slowest_device
+                    if extent.swapped
+                    else kernel.nodes[extent.node_id].device
+                )
+                fractions[device] = fractions.get(device, 0.0) + (
+                    extent.pages / pages
+                )
+            placements[region_id] = fractions
+
+        demands: dict[MemoryDevice, DeviceDemand] = {}
+        llc_misses = 0.0
+        for misses in self.cache.apportion(region_accesses):
+            llc_misses += misses.misses
+            for device, fraction in placements[misses.region_id].items():
+                addition = DeviceDemand(
+                    read_misses=misses.read_misses * fraction,
+                    write_misses=misses.write_misses * fraction,
+                    traffic_bytes=misses.traffic_bytes * fraction,
+                )
+                current = demands.get(device)
+                demands[device] = (
+                    addition if current is None else current.merged(addition)
+                )
+                # Endurance accounting: dirty-line writebacks are the
+                # device's wear (2x per write miss: fill + writeback).
+                self.wear.record(
+                    device,
+                    misses.write_misses
+                    * fraction
+                    * misses.bytes_per_miss
+                    * 2.0,
+                )
+        return demands, llc_misses
+
+    # ------------------------------------------------------------------
+    # Results
+    # ------------------------------------------------------------------
+
+    def result(self) -> RunResult:
+        kernel = self.kernel
+        policy = self.policy
+        return RunResult(
+            workload_name=self.workload.name,
+            policy_name=policy.name,
+            metric=self.workload.metric,
+            work_units_per_epoch=self.workload.work_units_per_epoch,
+            stats=self.stats,
+            alloc_stats=dict(kernel.cumulative_stats),
+            page_distribution=dict(kernel.distribution.allocated),
+            pages_migrated=getattr(policy, "pages_migrated", 0),
+            pages_demoted=getattr(policy, "pages_demoted", 0),
+            scan_cost_ns=getattr(policy, "scan_cost_ns", 0.0),
+            migration_cost_ns=getattr(policy, "migration_cost_ns", 0.0),
+            swap_pages_out=kernel.swap.stats.pages_out,
+            swap_pages_in=kernel.swap.stats.pages_in,
+            device_write_bytes=dict(self.wear.write_bytes),
+            device_lifetime_years={
+                name: self.wear.lifetime_years(name, self.stats.runtime_ns)
+                for name in self.wear.write_bytes
+            },
+        )

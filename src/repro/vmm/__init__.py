@@ -1,0 +1,43 @@
+"""Hypervisor (VMM) substrate.
+
+Models the Xen-side machinery HeteroOS coordinates with: machine-wide
+per-type frame pools, guest domains, the on-demand balloon back-end, the
+access-bit hotness tracker (HeteroVisor's mechanism), the page-migration
+engine with Table 6's batch-dependent costs, the guest/VMM shared-memory
+coordination channel, and the multi-VM sharing policies (max-min and
+weighted Dominant Resource Fairness).
+"""
+
+from repro.vmm.machine import MachineMemory
+from repro.vmm.domain import Domain
+from repro.vmm.balloon_backend import BalloonBackend
+from repro.vmm.hotness import HotnessConfig, HotnessTracker, ScanReport
+from repro.vmm.migration import (
+    MigrationCostModel,
+    MigrationEngine,
+    MigrationReport,
+    TABLE6_ANCHORS,
+)
+from repro.vmm.channel import CoordinationChannel
+from repro.vmm.sharing import GrantDecision, MaxMinSharing, SharingPolicy
+from repro.vmm.drf import WeightedDrf
+from repro.vmm.hypervisor import Hypervisor
+
+__all__ = [
+    "MachineMemory",
+    "Domain",
+    "BalloonBackend",
+    "HotnessConfig",
+    "HotnessTracker",
+    "ScanReport",
+    "MigrationCostModel",
+    "MigrationEngine",
+    "MigrationReport",
+    "TABLE6_ANCHORS",
+    "CoordinationChannel",
+    "SharingPolicy",
+    "MaxMinSharing",
+    "GrantDecision",
+    "WeightedDrf",
+    "Hypervisor",
+]

@@ -1,0 +1,108 @@
+"""Guest-VM domain state kept by the VMM.
+
+A domain records, per memory tier: its boot reservation (min/max), the
+machine frames currently granted, and the DRF resource weight.  The VMM's
+view is deliberately coarse — "the VMM's memory management data structures
+are coarse grained and treat the entire guest-VM as an application"
+(Observation 5); everything finer lives in the guest kernel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError, SharingError
+from repro.guestos.balloon import TierReservation
+from repro.guestos.numa import NodeTier
+from repro.mem.frames import FrameRange
+
+#: Paper's static DRF weights: FastMem counts double (Section 4.2).
+DEFAULT_WEIGHTS: dict[NodeTier, float] = {
+    NodeTier.FAST: 2.0,
+    NodeTier.MEDIUM: 1.5,
+    NodeTier.SLOW: 1.0,
+}
+
+
+@dataclass
+class Domain:
+    """One guest VM as the VMM sees it."""
+
+    domain_id: int
+    name: str
+    reservations: dict[NodeTier, TierReservation]
+    weights: dict[NodeTier, float] = field(
+        default_factory=lambda: dict(DEFAULT_WEIGHTS)
+    )
+    #: Machine frames granted per tier (reservation + ballooned).
+    granted_frames: dict[NodeTier, list[FrameRange]] = field(default_factory=dict)
+    granted_pages: dict[NodeTier, int] = field(default_factory=dict)
+    #: Reclaim work (ns) queued by the VMM, charged at the next epoch.
+    pending_overhead_ns: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.reservations:
+            raise ConfigurationError(f"domain {self.name!r} has no reservations")
+        for tier in self.reservations:
+            self.granted_frames.setdefault(tier, [])
+            self.granted_pages.setdefault(tier, 0)
+            self.weights.setdefault(tier, 1.0)
+
+    def reservation(self, tier: NodeTier) -> TierReservation:
+        try:
+            return self.reservations[tier]
+        except KeyError:
+            raise SharingError(
+                f"domain {self.name!r} has no reservation for {tier.value}"
+            ) from None
+
+    def pages(self, tier: NodeTier) -> int:
+        return self.granted_pages.get(tier, 0)
+
+    def overcommit_pages(self, tier: NodeTier) -> int:
+        """Pages held beyond the boot minimum (reclaimable by DRF)."""
+        reservation = self.reservations.get(tier)
+        minimum = reservation.min_pages if reservation else 0
+        return max(0, self.pages(tier) - minimum)
+
+    def record_grant(self, tier: NodeTier, ranges: list[FrameRange]) -> None:
+        pages = sum(fr.count for fr in ranges)
+        self.granted_frames.setdefault(tier, []).extend(ranges)
+        self.granted_pages[tier] = self.granted_pages.get(tier, 0) + pages
+
+    def surrender(self, tier: NodeTier, pages: int) -> list[FrameRange]:
+        """Remove ``pages`` worth of granted frames (balloon-out path)."""
+        if pages <= 0:
+            return []
+        if pages > self.pages(tier):
+            raise SharingError(
+                f"domain {self.name!r}: surrender of {pages} {tier.value} "
+                f"pages but only {self.pages(tier)} granted"
+            )
+        surrendered: list[FrameRange] = []
+        remaining = pages
+        stash = self.granted_frames[tier]
+        while remaining > 0:
+            frame_range = stash.pop()
+            if frame_range.count > remaining:
+                keep, give = frame_range.split(frame_range.count - remaining)
+                stash.append(keep)
+                frame_range = give
+            surrendered.append(frame_range)
+            remaining -= frame_range.count
+        self.granted_pages[tier] -= pages
+        return surrendered
+
+    def dominant_share(
+        self, capacities: dict[NodeTier, int]
+    ) -> tuple[float, NodeTier]:
+        """Weighted dominant share (Algorithm 1 line 10) and its tier."""
+        best = (0.0, NodeTier.SLOW)
+        for tier, pages in self.granted_pages.items():
+            capacity = capacities.get(tier, 0)
+            if capacity <= 0:
+                continue
+            share = self.weights.get(tier, 1.0) * pages / capacity
+            if share > best[0]:
+                best = (share, tier)
+        return best

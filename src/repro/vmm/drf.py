@@ -1,0 +1,81 @@
+"""Weighted Dominant Resource Fairness (Algorithm 1, Section 4.2).
+
+Each memory type is a resource; a domain's *dominant share* is the
+maximum, over tiers, of ``weight * granted / capacity``.  Requests are
+served in ascending dominant-share order, so the VM that has consumed the
+smallest weighted share of its dominant resource goes first.  When the
+machine cannot cover a request, DRF reclaims *overcommit* pages (beyond
+boot minimum) from the domain with the highest dominant share — never a
+victim's reserved minimum, which is how DRF protects the Graphchi VM's
+SlowMem in Figure 13.
+
+DRF is strategy-proof and Pareto-efficient (Ghodsi et al., NSDI'11): a VM
+inflating its stated demand only raises its own dominant share, making
+the ballooning mechanism reclaim from it sooner.
+"""
+
+from __future__ import annotations
+
+from repro.guestos.numa import NodeTier
+from repro.vmm.domain import Domain
+from repro.vmm.machine import MachineMemory
+from repro.vmm.sharing import GrantDecision, Reclaim, SharingPolicy
+
+
+class WeightedDrf(SharingPolicy):
+    """Weighted DRF arbitration over memory tiers."""
+
+    name = "weighted-drf"
+
+    def dominant_shares(
+        self, machine: MachineMemory, domains: list[Domain]
+    ) -> dict[int, float]:
+        """Current dominant share per domain id (Algorithm 1 line 10)."""
+        capacities = {
+            tier: machine.total_pages(tier) for tier in machine.pools
+        }
+        return {
+            domain.domain_id: domain.dominant_share(capacities)[0]
+            for domain in domains
+        }
+
+    def arbitrate(
+        self,
+        requester: Domain,
+        tier: NodeTier,
+        pages: int,
+        machine: MachineMemory,
+        domains: list[Domain],
+    ) -> GrantDecision:
+        shares = self.dominant_shares(machine, domains)
+        my_share = shares.get(requester.domain_id, 0.0)
+
+        from_pool = min(pages, machine.free_pages(tier))
+        decision = GrantDecision(granted_from_pool=from_pool)
+        shortfall = pages - from_pool
+        if shortfall <= 0:
+            return decision
+
+        # Algorithm 1's else-branch: capacity exhausted.  Reclaim
+        # overcommit from domains with a *strictly higher* dominant share
+        # than the requester — the queue-ordering property expressed as a
+        # reclaim rule.  Reserved minimums are never touched.
+        candidates = sorted(
+            (
+                d
+                for d in domains
+                if d.domain_id != requester.domain_id
+                and shares.get(d.domain_id, 0.0) > my_share
+                and d.overcommit_pages(tier) > 0
+            ),
+            key=lambda d: shares[d.domain_id],
+            reverse=True,
+        )
+        for victim in candidates:
+            if shortfall <= 0:
+                break
+            take = min(shortfall, victim.overcommit_pages(tier))
+            if take > 0:
+                decision.reclaims.append(Reclaim(victim, tier, take))
+                shortfall -= take
+        return decision

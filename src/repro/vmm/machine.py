@@ -1,0 +1,63 @@
+"""Machine-wide memory: one frame pool per memory tier.
+
+The VMM owns all machine frames; guests receive reservations at boot and
+further grants through the balloon back-end.  The per-tier split is the
+"per-node (memory type) machine page number (MFN) mapping" back-end state
+of Section 3.1.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError, OutOfMemoryError
+from repro.guestos.numa import NodeTier
+from repro.hw.memdevice import MemoryDevice
+from repro.mem.frames import FramePool, FrameRange
+from repro.units import pages_of_bytes
+
+
+class MachineMemory:
+    """Per-tier machine frame pools."""
+
+    def __init__(self, devices: dict[NodeTier, MemoryDevice]) -> None:
+        if not devices:
+            raise ConfigurationError("machine needs at least one memory device")
+        self.devices = dict(devices)
+        self.pools: dict[NodeTier, FramePool] = {}
+        base = 0
+        for tier in sorted(devices, key=lambda t: t.rank):
+            device = devices[tier]
+            frames = pages_of_bytes(device.capacity_bytes)
+            if frames <= 0:
+                raise ConfigurationError(
+                    f"tier {tier.value}: device has no capacity"
+                )
+            self.pools[tier] = FramePool(base, frames, name=tier.value)
+            base += frames
+
+    def total_pages(self, tier: NodeTier) -> int:
+        return self.pools[tier].total_frames
+
+    def free_pages(self, tier: NodeTier) -> int:
+        return self.pools[tier].free_frames
+
+    def allocate(self, tier: NodeTier, pages: int) -> list[FrameRange]:
+        pool = self.pools.get(tier)
+        if pool is None:
+            raise ConfigurationError(f"no pool for tier {tier.value}")
+        return pool.allocate_scattered(pages)
+
+    def free(self, tier: NodeTier, ranges: list[FrameRange]) -> None:
+        pool = self.pools.get(tier)
+        if pool is None:
+            raise ConfigurationError(f"no pool for tier {tier.value}")
+        for frame_range in ranges:
+            pool.free(frame_range)
+
+    def allocate_exact_or_raise(self, tier: NodeTier, pages: int) -> list[FrameRange]:
+        """Allocate exactly ``pages`` or raise without side effects."""
+        if self.free_pages(tier) < pages:
+            raise OutOfMemoryError(
+                f"tier {tier.value}: {pages} pages requested, "
+                f"{self.free_pages(tier)} free"
+            )
+        return self.allocate(tier, pages)

@@ -1,0 +1,126 @@
+"""Multi-VM memory sharing policies — the max-min baseline.
+
+"Most VMMs today employ simple but effective max-min fairness-based
+resource management ... the resources are first allocated based on the
+demands of the VMs to guarantee that each VM receives its basic share ...
+Any unused memory is evenly distributed among VMs demanding more than the
+fair share (overcommit)" (Section 4.2).
+
+The paper's criticism — reproduced by :class:`MaxMinSharing` — is that
+*single-resource* max-min protects fairness on only one memory type (the
+scarce one, FastMem).  On every other tier, grants are effectively
+first-come-first-served and a memory-hungry VM may balloon out a
+neighbour's not-yet-used reserved pages (the Figure 13 failure mode).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+
+from repro.guestos.numa import NodeTier
+from repro.vmm.domain import Domain
+from repro.vmm.machine import MachineMemory
+
+
+@dataclass(frozen=True)
+class Reclaim:
+    """An instruction to balloon pages out of a victim domain."""
+
+    victim: Domain
+    tier: NodeTier
+    pages: int
+
+
+@dataclass
+class GrantDecision:
+    """Outcome of arbitration: pages to grant now (from the free pool)
+    plus reclaims whose proceeds also go to the requester."""
+
+    granted_from_pool: int = 0
+    reclaims: list[Reclaim] = field(default_factory=list)
+
+    @property
+    def total_pages(self) -> int:
+        return self.granted_from_pool + sum(r.pages for r in self.reclaims)
+
+
+class SharingPolicy(abc.ABC):
+    """Arbitration interface consulted by the balloon back-end."""
+
+    name: str = "sharing"
+
+    @abc.abstractmethod
+    def arbitrate(
+        self,
+        requester: Domain,
+        tier: NodeTier,
+        pages: int,
+        machine: MachineMemory,
+        domains: list[Domain],
+    ) -> GrantDecision:
+        """Decide how much of ``pages`` the requester may receive."""
+
+    def fair_share_pages(
+        self, tier: NodeTier, machine: MachineMemory, domains: list[Domain]
+    ) -> float:
+        """Equal split of a tier's capacity across domains."""
+        if not domains:
+            return 0.0
+        return machine.total_pages(tier) / len(domains)
+
+
+class MaxMinSharing(SharingPolicy):
+    """Single-resource max-min fairness.
+
+    ``protected_tier`` (FastMem by default — the scarce resource) is the
+    one resource whose fair share is enforced: no domain may balloon past
+    its fair share of it.  Other tiers are granted first-come-first-served
+    and, when the pool is dry, taken from whichever neighbour holds the
+    most overcommit — or failing that, the most reserved-but-granted
+    pages — without regard to that neighbour's fair share.
+    """
+
+    name = "max-min"
+
+    def __init__(self, protected_tier: NodeTier = NodeTier.FAST) -> None:
+        self.protected_tier = protected_tier
+
+    def arbitrate(
+        self,
+        requester: Domain,
+        tier: NodeTier,
+        pages: int,
+        machine: MachineMemory,
+        domains: list[Domain],
+    ) -> GrantDecision:
+        want = pages
+        if tier is self.protected_tier:
+            fair = self.fair_share_pages(tier, machine, domains)
+            headroom = max(0, int(fair) - requester.pages(tier))
+            want = min(want, headroom)
+        if want <= 0:
+            return GrantDecision()
+        from_pool = min(want, machine.free_pages(tier))
+        decision = GrantDecision(granted_from_pool=from_pool)
+        shortfall = want - from_pool
+        if shortfall > 0 and tier is not self.protected_tier:
+            # FCFS scavenging: balloon the shortfall out of neighbours,
+            # largest holdings first.  This is the unfairness the paper
+            # demonstrates: reserved-but-idle pages are fair game.
+            victims = sorted(
+                (d for d in domains if d.domain_id != requester.domain_id),
+                key=lambda d: d.pages(tier),
+                reverse=True,
+            )
+            for victim in victims:
+                if shortfall <= 0:
+                    break
+                reservation = victim.reservations.get(tier)
+                floor = reservation.min_pages // 4 if reservation else 0
+                takeable = max(0, victim.pages(tier) - floor)
+                take = min(shortfall, takeable)
+                if take > 0:
+                    decision.reclaims.append(Reclaim(victim, tier, take))
+                    shortfall -= take
+        return decision

@@ -1,0 +1,33 @@
+"""Workload models of the paper's applications and microbenchmarks.
+
+Each workload is a statistical epoch-level model emitting the memory-
+demand signature the evaluation depends on: region allocations and frees
+per kernel subsystem (heap / page cache / buffer cache / slab / network
+buffers — Figure 4's mix), per-region access intensity and locality
+(Table 4's MPKI), working-set sizes, and memory-level parallelism
+(Observation 1's latency-vs-bandwidth sensitivity split).
+"""
+
+from repro.workloads.base import (
+    ChurnSpec,
+    EpochDemand,
+    RegionSpec,
+    StatisticalWorkload,
+    Workload,
+)
+from repro.workloads.registry import available_workloads, make_workload
+from repro.workloads.microbench import make_memlat, make_stream
+from repro.workloads.synthetic import make_synthetic
+
+__all__ = [
+    "RegionSpec",
+    "ChurnSpec",
+    "EpochDemand",
+    "Workload",
+    "StatisticalWorkload",
+    "make_workload",
+    "available_workloads",
+    "make_memlat",
+    "make_stream",
+    "make_synthetic",
+]

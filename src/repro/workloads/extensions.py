@@ -1,0 +1,85 @@
+"""Workloads exercising the Section 4.3 extension policies.
+
+These are not paper workloads; they are the stress cases the paper's
+future-work discussion motivates: read/write-asymmetric NVM placement
+and multi-level memory ladders.
+"""
+
+from __future__ import annotations
+
+from repro.mem.extent import PageType
+from repro.workloads.base import ChurnSpec, RegionSpec, StatisticalWorkload
+
+
+def make_lsm_store(run_epochs: int = 80) -> StatisticalWorkload:
+    """A log-structured store with a *read-hot* cache and a *write-hot*
+    log buffer — the workload shape where NVM's store/load asymmetry
+    makes write-aware placement matter."""
+    return StatisticalWorkload(
+        name="lsm-store",
+        mlp=5.0,
+        instructions_per_epoch=200e6,
+        accesses_per_epoch=2.0e6,
+        io_wait_ns=20e6,
+        metric="ops-per-sec",
+        work_units_per_epoch=25_000,
+        run_epochs=run_epochs,
+        resident=[
+            RegionSpec(
+                "read-cache", PageType.HEAP, 200_000, reuse=0.8,
+                access_share=55.0, write_fraction=0.02,
+            ),
+            RegionSpec(
+                "log-buffer", PageType.HEAP, 40_000, reuse=0.5,
+                access_share=12.0, write_fraction=0.95,
+            ),
+        ],
+        churn=[
+            ChurnSpec(
+                "wal", PageType.BUFFER_CACHE, 3_000, 2, reuse=0.5,
+                access_share=25.0, write_fraction=0.9,
+            ),
+            ChurnSpec(
+                "compact", PageType.HEAP, 1_000, 3, reuse=0.4,
+                access_share=8.0, write_fraction=0.5,
+            ),
+        ],
+    )
+
+
+def make_tiered_analytics(run_epochs: int = 80) -> StatisticalWorkload:
+    """A three-temperature analytics job (hot working set, warm
+    intermediate state, cold history with periodic revisits) — the shape
+    multi-level ladders exploit."""
+    return StatisticalWorkload(
+        name="tiered-analytics",
+        mlp=10.0,
+        instructions_per_epoch=200e6,
+        accesses_per_epoch=4.0e6,
+        io_wait_ns=8e6,
+        run_epochs=run_epochs,
+        resident=[
+            RegionSpec(
+                "hot", PageType.HEAP, 180_000, reuse=0.85,
+                access_share=50.0, write_fraction=0.35,
+            ),
+            RegionSpec(
+                "warm", PageType.HEAP, 400_000, reuse=0.6,
+                access_share=28.0, write_fraction=0.3,
+            ),
+            RegionSpec(
+                "cold-history", PageType.HEAP, 800_000, reuse=0.3,
+                access_share=6.0, write_fraction=0.1, access_period=5,
+            ),
+        ],
+        churn=[
+            ChurnSpec(
+                "scratch", PageType.HEAP, 8_000, 2, reuse=0.5,
+                access_share=12.0, write_fraction=0.5, active_epochs=2,
+            ),
+            ChurnSpec(
+                "scan-io", PageType.PAGE_CACHE, 5_000, 3, reuse=0.2,
+                access_share=4.0, active_epochs=1,
+            ),
+        ],
+    )

@@ -1,0 +1,147 @@
+"""Figure 13's multi-VM workload variants.
+
+Section 5.5: "For Graphchi, we use a Twitter dataset that requires 6GB of
+total heap capacity with an active working set size of just 1.5GB ...
+For Metis, our dataset uses 8GB of the heap and has a working set size of
+5.4GB."  On a 4 GB FastMem / 8 GB SlowMem machine the two VMs' demand
+(14 GB) overcommits memory, and the sharing policy decides who wins.
+
+Both variants grow their heaps in stages (``alloc_epoch``): Metis is the
+memory-hungry fast grower that "first exhausts the reserved FastMem and
+then starts exhausting SlowMem by ballooning out the Graphchi VM's
+SlowMem pages" under single-resource max-min.
+"""
+
+from __future__ import annotations
+
+from repro.mem.extent import PageType
+from repro.units import NS_PER_MS
+from repro.workloads.base import ChurnSpec, RegionSpec, StatisticalWorkload
+
+GIB_PAGES = 262144
+
+
+def make_graphchi_twitter() -> StatisticalWorkload:
+    """GraphChi on the Twitter graph: 6 GB heap, 1.5 GB active WSS,
+    growing gradually (shard-by-shard loading)."""
+    resident = [
+        RegionSpec(
+            label="heap-hot",
+            page_type=PageType.HEAP,
+            pages=int(1.5 * GIB_PAGES),
+            reuse=0.85,
+            access_share=55.0,
+            write_fraction=0.35,
+            bytes_per_miss=128.0,
+            alloc_epoch=0,
+        ),
+    ]
+    # 4.5 GB of cold graph data loaded in 1.5 GB slices over time.
+    for part, epoch in enumerate((10, 25, 40)):
+        resident.append(
+            RegionSpec(
+                label=f"heap-cold-{part}",
+                page_type=PageType.HEAP,
+                pages=int(1.5 * GIB_PAGES),
+                reuse=0.30,
+                access_share=6.0,
+                write_fraction=0.30,
+                bytes_per_miss=128.0,
+                alloc_epoch=epoch,
+                access_period=6,
+            )
+        )
+    return StatisticalWorkload(
+        name="graphchi-twitter",
+        mlp=14.0,
+        instructions_per_epoch=200e6,
+        accesses_per_epoch=5.6e6,
+        io_wait_ns=10.0 * NS_PER_MS,
+        metric="seconds",
+        run_epochs=160,
+        resident=resident,
+        churn=[
+            ChurnSpec(
+                label="heap-shard",
+                page_type=PageType.HEAP,
+                pages_per_epoch=20_000,
+                lifetime_epochs=2,
+                active_epochs=2,
+                reuse=0.50,
+                access_share=20.0,
+                write_fraction=0.40,
+                bytes_per_miss=128.0,
+            ),
+            ChurnSpec(
+                label="shard-io",
+                page_type=PageType.PAGE_CACHE,
+                pages_per_epoch=8_000,
+                lifetime_epochs=3,
+                active_epochs=1,
+                reuse=0.20,
+                access_share=7.0,
+                bytes_per_miss=256.0,
+            ),
+        ],
+    )
+
+
+def make_metis_big() -> StatisticalWorkload:
+    """Metis with an 8 GB heap / 5.4 GB WSS: the memory-hungry neighbour
+    that grows fast and balloons aggressively."""
+    resident = [
+        RegionSpec(
+            label="heap-hot",
+            page_type=PageType.HEAP,
+            pages=int(2.7 * GIB_PAGES),
+            reuse=0.80,
+            access_share=50.0,
+            write_fraction=0.35,
+            alloc_epoch=0,
+        ),
+        RegionSpec(
+            label="heap-warm",
+            page_type=PageType.HEAP,
+            pages=int(2.7 * GIB_PAGES),
+            reuse=0.60,
+            access_share=30.0,
+            write_fraction=0.30,
+            alloc_epoch=2,
+        ),
+    ]
+    # 2.6 GB of cold intermediate data, grabbed early and rarely touched.
+    for part, epoch in enumerate((4, 6)):
+        resident.append(
+            RegionSpec(
+                label=f"heap-cold-{part}",
+                page_type=PageType.HEAP,
+                pages=int(1.3 * GIB_PAGES),
+                reuse=0.30,
+                access_share=6.0,
+                write_fraction=0.40,
+                alloc_epoch=epoch,
+                access_period=6,
+            )
+        )
+    return StatisticalWorkload(
+        name="metis-big",
+        mlp=12.0,
+        instructions_per_epoch=200e6,
+        accesses_per_epoch=3.05e6,
+        io_wait_ns=12.0 * NS_PER_MS,
+        metric="seconds",
+        run_epochs=160,
+        resident=resident,
+        churn=[
+            ChurnSpec(
+                label="intermediate",
+                page_type=PageType.HEAP,
+                pages_per_epoch=3_000,
+                lifetime_epochs=4,
+                active_epochs=3,
+                reuse=0.55,
+                access_share=8.0,
+                write_fraction=0.50,
+            ),
+        ],
+    )

@@ -1,0 +1,105 @@
+"""GraphChi model — PageRank over the Orkut social graph (Table 2).
+
+Signature reproduced (Sections 2.2, 5.3):
+
+* most memory-intensive app: MPKI ~27.4 (Table 4), high MLP (multi-
+  threaded batch processing makes it bandwidth-sensitive, Observation 1);
+* ~1.5 GB hot working set inside a ~4 GB heap, plus heavy alloc/free
+  churn ("frequently allocate-deallocate memory", Section 5.3) — the
+  behaviour on-demand allocation rewards;
+* shard loading streams through the I/O page cache;
+* cumulative page total ~5M pages, heap-dominant mix (Figure 4).
+"""
+
+from __future__ import annotations
+
+from repro.mem.extent import PageType
+from repro.units import NS_PER_MS
+from repro.workloads.base import ChurnSpec, RegionSpec, StatisticalWorkload
+
+
+def make_graphchi() -> StatisticalWorkload:
+    """Build the GraphChi workload model."""
+    gib_pages = 262144
+    return StatisticalWorkload(
+        name="graphchi",
+        mlp=14.0,
+        instructions_per_epoch=200e6,
+        accesses_per_epoch=5.6e6,
+        io_wait_ns=10.0 * NS_PER_MS,
+        run_epochs=240,
+        metric="seconds",
+        share_shifts=[
+            (120, {"heap-hot": 12.0, "heap-warm": 36.0}),
+        ],
+        resident=[
+            RegionSpec(
+                label="heap-hot",
+                page_type=PageType.HEAP,
+                pages=int(0.9 * gib_pages),
+                reuse=0.85,
+                access_share=38.0,
+                write_fraction=0.35,
+                bytes_per_miss=128.0,
+            ),
+            RegionSpec(
+                label="heap-warm",
+                page_type=PageType.HEAP,
+                pages=int(0.6 * gib_pages),
+                reuse=0.85,
+                access_share=10.0,
+                write_fraction=0.35,
+                bytes_per_miss=128.0,
+            ),
+            RegionSpec(
+                label="heap-cold",
+                page_type=PageType.HEAP,
+                pages=int(2.5 * gib_pages),
+                reuse=0.30,
+                access_share=10.0,
+                write_fraction=0.30,
+                bytes_per_miss=128.0,
+            ),
+        ],
+        churn=[
+            ChurnSpec(
+                label="heap-shard",
+                page_type=PageType.HEAP,
+                pages_per_epoch=25_000,
+                lifetime_epochs=2,
+                active_epochs=2,
+                reuse=0.50,
+                access_share=25.0,
+                write_fraction=0.40,
+                bytes_per_miss=128.0,
+            ),
+            ChurnSpec(
+                label="shard-io",
+                page_type=PageType.PAGE_CACHE,
+                pages_per_epoch=15_000,
+                lifetime_epochs=4,
+                active_epochs=1,
+                reuse=0.20,
+                access_share=12.0,
+                write_fraction=0.20,
+                bytes_per_miss=256.0,
+            ),
+            ChurnSpec(
+                label="fs-meta",
+                page_type=PageType.BUFFER_CACHE,
+                pages_per_epoch=1_500,
+                lifetime_epochs=2,
+                active_epochs=1,
+                reuse=0.40,
+                access_share=2.0,
+            ),
+            ChurnSpec(
+                label="slab",
+                page_type=PageType.SLAB,
+                pages_per_epoch=800,
+                lifetime_epochs=1,
+                reuse=0.50,
+                access_share=2.0,
+            ),
+        ],
+    )

@@ -1,0 +1,84 @@
+"""LevelDB model — SQLite-bench style key-value store (Table 2).
+
+Signature reproduced:
+
+* storage-intensive with a *small* in-memory working set: MPKI ~4.7 and
+  strong dilution by disk wait ("LevelDB ... with relatively smaller
+  working set show[s] lower impact", Observation 1);
+* throughput metric (MB/s);
+* buffer-cache- and page-cache-dominant page mix, smallest cumulative
+  page total of the suite (~0.53M, Figure 4);
+* page-cache regions linger after their I/O completes (read-ahead /
+  compaction retention): the pattern HeteroOS-LRU's eager eviction
+  exploits ("placing buffer cache pages in FastMem speeds up logging and
+  read operations via a memory-mapped database", Section 5.3).
+"""
+
+from __future__ import annotations
+
+from repro.mem.extent import PageType
+from repro.units import NS_PER_MS
+from repro.workloads.base import ChurnSpec, RegionSpec, StatisticalWorkload
+
+
+def make_leveldb() -> StatisticalWorkload:
+    """Build the LevelDB workload model."""
+    return StatisticalWorkload(
+        name="leveldb",
+        mlp=4.0,
+        instructions_per_epoch=200e6,
+        accesses_per_epoch=1.2e6,
+        io_wait_ns=60.0 * NS_PER_MS,
+        run_epochs=160,
+        metric="mb-per-sec",
+        work_units_per_epoch=32.0,  # MB of key-value traffic per epoch
+        resident=[
+            RegionSpec(
+                label="memtable",
+                page_type=PageType.HEAP,
+                pages=78_643,  # ~300 MB
+                reuse=0.80,
+                access_share=30.0,
+                write_fraction=0.50,
+            ),
+        ],
+        churn=[
+            ChurnSpec(
+                label="log-writes",
+                page_type=PageType.BUFFER_CACHE,
+                pages_per_epoch=3_000,
+                lifetime_epochs=2,
+                active_epochs=1,
+                reuse=0.55,
+                access_share=30.0,
+                write_fraction=0.60,
+            ),
+            ChurnSpec(
+                label="sst-reads",
+                page_type=PageType.PAGE_CACHE,
+                pages_per_epoch=2_200,
+                lifetime_epochs=6,
+                active_epochs=2,
+                reuse=0.60,
+                access_share=30.0,
+                write_fraction=0.10,
+            ),
+            ChurnSpec(
+                label="fs-slab",
+                page_type=PageType.SLAB,
+                pages_per_epoch=600,
+                lifetime_epochs=1,
+                reuse=0.55,
+                access_share=6.0,
+            ),
+            ChurnSpec(
+                label="heap-scratch",
+                page_type=PageType.HEAP,
+                pages_per_epoch=500,
+                lifetime_epochs=2,
+                active_epochs=1,
+                reuse=0.50,
+                access_share=4.0,
+            ),
+        ],
+    )

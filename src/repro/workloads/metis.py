@@ -1,0 +1,88 @@
+"""Metis model — shared-memory MapReduce, 4 GB crime dataset (Table 2).
+
+Signature reproduced:
+
+* MPKI ~14.9, moderate MLP (8 mapper-reducer threads);
+* a large ~5.4 GB heap working set that is "seldom release[d]"
+  (Section 5.3), which caps Heap-OD's gains at low FastMem ratios —
+  Metis is the app where migration-based approaches stay competitive;
+* small I/O footprint; ~1.75M cumulative pages, heap-dominant (Figure 4).
+"""
+
+from __future__ import annotations
+
+from repro.mem.extent import PageType
+from repro.units import NS_PER_MS
+from repro.workloads.base import ChurnSpec, RegionSpec, StatisticalWorkload
+
+
+def make_metis() -> StatisticalWorkload:
+    """Build the Metis workload model."""
+    gib_pages = 262144
+    return StatisticalWorkload(
+        name="metis",
+        mlp=12.0,
+        instructions_per_epoch=200e6,
+        accesses_per_epoch=3.05e6,
+        io_wait_ns=12.0 * NS_PER_MS,
+        run_epochs=240,
+        metric="seconds",
+        share_shifts=[
+            (120, {"heap-hot": 17.0, "heap-mid": 38.0}),
+        ],
+        resident=[
+            RegionSpec(
+                label="heap-hot",
+                page_type=PageType.HEAP,
+                pages=int(1.2 * gib_pages),
+                reuse=0.80,
+                access_share=40.0,
+                write_fraction=0.35,
+            ),
+            RegionSpec(
+                label="heap-mid",
+                page_type=PageType.HEAP,
+                pages=int(0.8 * gib_pages),
+                reuse=0.80,
+                access_share=15.0,
+                write_fraction=0.35,
+            ),
+            RegionSpec(
+                label="heap-warm",
+                page_type=PageType.HEAP,
+                pages=int(3.4 * gib_pages),
+                reuse=0.45,
+                access_share=33.0,
+                write_fraction=0.30,
+            ),
+        ],
+        churn=[
+            ChurnSpec(
+                label="intermediate",
+                page_type=PageType.HEAP,
+                pages_per_epoch=3_000,
+                lifetime_epochs=4,
+                active_epochs=3,
+                reuse=0.55,
+                access_share=8.0,
+                write_fraction=0.50,
+            ),
+            ChurnSpec(
+                label="input-io",
+                page_type=PageType.PAGE_CACHE,
+                pages_per_epoch=1_500,
+                lifetime_epochs=3,
+                active_epochs=1,
+                reuse=0.30,
+                access_share=3.0,
+            ),
+            ChurnSpec(
+                label="slab",
+                page_type=PageType.SLAB,
+                pages_per_epoch=300,
+                lifetime_epochs=1,
+                reuse=0.50,
+                access_share=1.0,
+            ),
+        ],
+    )

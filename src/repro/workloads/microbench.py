@@ -1,0 +1,82 @@
+"""Microbenchmarks: ``memlat`` (Figure 6) and Stream (Figure 7).
+
+* ``memlat`` [Drepper]: dependent-chain pointer chasing over a heap
+  working set — MLP ~1, so average access latency is exposed directly.
+  The Figure 6 metric (cycles per access) is derived by the bench from
+  the run's stall time and access count.
+* Stream triad: sequential read-read-write sweeps with no temporal reuse
+  and deep MLP — pure bandwidth (Figure 7's GB/s is derived from traffic
+  over runtime).
+
+Both allocate heap pages only, matching Section 5.2.
+"""
+
+from __future__ import annotations
+
+from repro.errors import WorkloadError
+from repro.mem.extent import PageType
+from repro.units import GIB, pages_of_bytes
+from repro.workloads.base import RegionSpec, StatisticalWorkload
+
+
+def make_memlat(
+    wss_gib: float, accesses_per_epoch: float = 2.0e6
+) -> StatisticalWorkload:
+    """Pointer-chase latency benchmark over ``wss_gib`` GiB of heap."""
+    if wss_gib <= 0:
+        raise WorkloadError("working set must be positive")
+    pages = pages_of_bytes(int(wss_gib * GIB))
+    # The working set is allocated in chunks so partial placement (and
+    # Random's per-allocation coin flips) behave like a real allocator.
+    chunks = 8
+    chunk = max(1, pages // chunks)
+    return StatisticalWorkload(
+        name=f"memlat-{wss_gib}g",
+        mlp=1.2,  # dependent loads barely overlap
+        instructions_per_epoch=20e6,
+        accesses_per_epoch=accesses_per_epoch,
+        metric="seconds",
+        run_epochs=30,
+        resident=[
+            RegionSpec(
+                label=f"chase-{part}",
+                page_type=PageType.HEAP,
+                pages=chunk,
+                reuse=0.95,  # would hit if it fit: pure capacity test
+                access_share=1.0,
+                write_fraction=0.0,
+            )
+            for part in range(chunks)
+        ],
+    )
+
+
+def make_stream(
+    wss_gib: float, accesses_per_epoch: float = 9.0e6
+) -> StatisticalWorkload:
+    """Stream-triad bandwidth benchmark over ``wss_gib`` GiB of heap."""
+    if wss_gib <= 0:
+        raise WorkloadError("working set must be positive")
+    pages = pages_of_bytes(int(wss_gib * GIB))
+    chunks = 8
+    chunk = max(1, pages // chunks)
+    return StatisticalWorkload(
+        name=f"stream-{wss_gib}g",
+        mlp=24.0,  # vectorised sequential sweeps: fully overlapped
+        instructions_per_epoch=50e6,
+        accesses_per_epoch=accesses_per_epoch,
+        metric="mb-per-sec",
+        run_epochs=30,
+        resident=[
+            RegionSpec(
+                label=f"triad-{part}",
+                page_type=PageType.HEAP,
+                pages=chunk,
+                reuse=0.02,  # streaming: no temporal reuse
+                access_share=1.0,
+                write_fraction=1.0 / 3.0,  # a[i] = b[i] + s*c[i]
+                bytes_per_miss=256.0,
+            )
+            for part in range(chunks)
+        ],
+    )

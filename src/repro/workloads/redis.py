@@ -1,0 +1,82 @@
+"""Redis model — key-value store, 4M ops, 80% GETs (Table 2).
+
+Signature reproduced:
+
+* network-intensive: the dominant kernel demand is skbuff network-buffer
+  slab churn ("network-intensive applications extensively use slab pages
+  for OS-level network buffers 'skbuff' (see Redis in Figure 4)");
+* MPKI ~11.1 with a ~1.5 GB value heap; requests-per-second metric;
+* moderate dilution by network wait;
+* prioritizing the slab/skbuff pages to FastMem is what moves its
+  throughput (Section 5.3).
+"""
+
+from __future__ import annotations
+
+from repro.mem.extent import PageType
+from repro.units import NS_PER_MS
+from repro.workloads.base import ChurnSpec, RegionSpec, StatisticalWorkload
+
+
+def make_redis() -> StatisticalWorkload:
+    """Build the Redis workload model."""
+    gib_pages = 262144
+    return StatisticalWorkload(
+        name="redis",
+        mlp=7.0,
+        instructions_per_epoch=200e6,
+        accesses_per_epoch=2.72e6,
+        io_wait_ns=45.0 * NS_PER_MS,
+        run_epochs=160,
+        metric="ops-per-sec",
+        work_units_per_epoch=40_000.0,  # requests per epoch
+        resident=[
+            RegionSpec(
+                label="values",
+                page_type=PageType.HEAP,
+                pages=int(1.5 * gib_pages),
+                reuse=0.70,
+                access_share=45.0,
+                write_fraction=0.30,
+            ),
+        ],
+        churn=[
+            ChurnSpec(
+                label="skbuff",
+                page_type=PageType.NETWORK_BUFFER,
+                pages_per_epoch=5_000,
+                lifetime_epochs=1,
+                active_epochs=1,
+                reuse=0.65,
+                access_share=32.0,
+                write_fraction=0.50,
+            ),
+            ChurnSpec(
+                label="kernel-slab",
+                page_type=PageType.SLAB,
+                pages_per_epoch=1_200,
+                lifetime_epochs=1,
+                reuse=0.55,
+                access_share=8.0,
+            ),
+            ChurnSpec(
+                label="aof-persist",
+                page_type=PageType.PAGE_CACHE,
+                pages_per_epoch=1_200,
+                lifetime_epochs=2,
+                active_epochs=1,
+                reuse=0.30,
+                access_share=5.0,
+                write_fraction=0.80,
+            ),
+            ChurnSpec(
+                label="heap-scratch",
+                page_type=PageType.HEAP,
+                pages_per_epoch=800,
+                lifetime_epochs=2,
+                active_epochs=1,
+                reuse=0.55,
+                access_share=10.0,
+            ),
+        ],
+    )

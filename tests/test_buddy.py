@@ -1,0 +1,125 @@
+"""Buddy allocator."""
+
+import pytest
+
+from repro.errors import AllocationError, OutOfMemoryError
+from repro.guestos.buddy import BuddyAllocator
+
+
+def test_block_allocation_sizes():
+    buddy = BuddyAllocator(0, 1024)
+    block = buddy.allocate_block(4)
+    assert block.count == 16
+    assert block.start % 16 == 0
+    assert buddy.free_frames == 1024 - 16
+
+
+def test_block_alignment_respects_base():
+    buddy = BuddyAllocator(1000, 1024)
+    block = buddy.allocate_block(5)
+    assert (block.start - 1000) % 32 == 0
+
+
+def test_split_and_coalesce_roundtrip():
+    buddy = BuddyAllocator(0, 256)
+    blocks = [buddy.allocate_block(0) for _ in range(256)]
+    assert buddy.free_frames == 0
+    for block in blocks:
+        buddy.free_span(block.start, block.count)
+    assert buddy.free_frames == 256
+    buddy.check_invariants()
+    # Everything coalesced back: a max-order block is available again.
+    assert buddy.largest_free_order() == 8
+
+
+def test_allocate_pages_exact_total():
+    buddy = BuddyAllocator(0, 1024)
+    ranges = buddy.allocate_pages(300)
+    assert sum(r.count for r in ranges) == 300
+    assert buddy.free_frames == 724
+    buddy.check_invariants()
+
+
+def test_allocate_pages_rollback_on_failure():
+    buddy = BuddyAllocator(0, 128)
+    buddy.allocate_pages(100)
+    free_before = buddy.free_frames
+    with pytest.raises(OutOfMemoryError):
+        buddy.allocate_pages(50)
+    assert buddy.free_frames == free_before
+    buddy.check_invariants()
+
+
+def test_free_span_accepts_fragments():
+    """Fragments of an allocated block (per-CPU splits) free cleanly."""
+    buddy = BuddyAllocator(0, 64)
+    block = buddy.allocate_block(4)  # 16 frames
+    buddy.free_span(block.start, 5)
+    buddy.free_span(block.start + 5, 11)
+    assert buddy.free_frames == 64
+    buddy.check_invariants()
+
+
+def test_double_free_detected_exactly():
+    buddy = BuddyAllocator(0, 64)
+    block = buddy.allocate_block(3)
+    buddy.free_span(block.start, block.count)
+    with pytest.raises(AllocationError):
+        buddy.free_span(block.start, 1)
+
+
+def test_partial_overlap_free_detected():
+    buddy = BuddyAllocator(0, 64)
+    block = buddy.allocate_block(3)  # 8 frames
+    buddy.free_span(block.start, 4)
+    with pytest.raises(AllocationError):
+        buddy.free_span(block.start + 2, 4)  # overlaps the freed half
+
+
+def test_free_outside_span_rejected():
+    buddy = BuddyAllocator(0, 64)
+    with pytest.raises(AllocationError):
+        buddy.free_span(100, 4)
+
+
+def test_non_power_of_two_span():
+    buddy = BuddyAllocator(0, 1000)
+    assert buddy.free_frames == 1000
+    ranges = buddy.allocate_pages(1000)
+    assert sum(r.count for r in ranges) == 1000
+    assert buddy.free_frames == 0
+    for r in ranges:
+        buddy.free_span(r.start, r.count)
+    buddy.check_invariants()
+
+
+def test_fragmentation_fallback_to_smaller_orders():
+    buddy = BuddyAllocator(0, 64)
+    # Allocate all order-0 blocks, free every other one: max fragmentation.
+    blocks = [buddy.allocate_block(0) for _ in range(64)]
+    for block in blocks[::2]:
+        buddy.free_span(block.start, 1)
+    assert buddy.largest_free_order() == 0
+    ranges = buddy.allocate_pages(16)  # must assemble from singletons
+    assert sum(r.count for r in ranges) == 16
+    buddy.check_invariants()
+
+
+def test_is_free_queries():
+    buddy = BuddyAllocator(0, 16)
+    block = buddy.allocate_block(2)
+    assert not buddy.is_free(block.start)
+    buddy.free_span(block.start, block.count)
+    assert buddy.is_free(block.start)
+    with pytest.raises(AllocationError):
+        buddy.is_free(999)
+
+
+def test_oversized_request_rejected():
+    buddy = BuddyAllocator(0, 64)
+    with pytest.raises(OutOfMemoryError):
+        buddy.allocate_pages(65)
+    with pytest.raises(AllocationError):
+        buddy.allocate_pages(0)
+    with pytest.raises(AllocationError):
+        buddy.allocate_block(99)

@@ -1,0 +1,120 @@
+"""Analytic LLC model."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hw.cache import CacheConfig, LastLevelCache, RegionAccess
+from repro.units import MIB
+
+
+def region(
+    rid="r", mib=32, reads=1000.0, writes=0.0, reuse=1.0, bpm=64.0
+) -> RegionAccess:
+    return RegionAccess(
+        region_id=rid,
+        footprint_bytes=mib * MIB,
+        reads=reads,
+        writes=writes,
+        reuse=reuse,
+        bytes_per_miss=bpm,
+    )
+
+
+def test_config_validation():
+    with pytest.raises(ConfigurationError):
+        CacheConfig(capacity_bytes=0)
+    with pytest.raises(ConfigurationError):
+        CacheConfig(line_size=0)
+
+
+def test_region_validation():
+    with pytest.raises(ConfigurationError):
+        region(reuse=1.5)
+    with pytest.raises(ConfigurationError):
+        region(reads=-1)
+
+
+def test_fully_cached_high_reuse_region_mostly_hits():
+    cache = LastLevelCache(CacheConfig(capacity_bytes=64 * MIB))
+    (result,) = cache.apportion([region(mib=16, reuse=1.0)])
+    assert result.cached_fraction == 1.0
+    assert result.misses == pytest.approx(0.0)
+
+
+def test_streaming_region_misses_even_when_cached():
+    cache = LastLevelCache(CacheConfig(capacity_bytes=64 * MIB))
+    (result,) = cache.apportion([region(mib=16, reuse=0.0)])
+    assert result.cached_fraction == 1.0
+    assert result.misses == pytest.approx(1000.0)
+
+
+def test_oversized_region_partially_cached():
+    cache = LastLevelCache(CacheConfig(capacity_bytes=16 * MIB))
+    (result,) = cache.apportion([region(mib=64, reuse=1.0)])
+    assert result.cached_fraction == pytest.approx(0.25)
+    assert result.misses == pytest.approx(750.0)
+
+
+def test_denser_region_wins_capacity():
+    cache = LastLevelCache(CacheConfig(capacity_bytes=16 * MIB))
+    hot = region(rid="hot", mib=16, reads=1_000_000, reuse=1.0)
+    cold = region(rid="cold", mib=16, reads=10, reuse=1.0)
+    results = {r.region_id: r for r in cache.apportion([cold, hot])}
+    assert results["hot"].cached_fraction == 1.0
+    assert results["cold"].cached_fraction == 0.0
+
+
+def test_result_order_matches_input_order():
+    cache = LastLevelCache()
+    results = cache.apportion(
+        [region(rid="a"), region(rid="b"), region(rid="c")]
+    )
+    assert [r.region_id for r in results] == ["a", "b", "c"]
+
+
+def test_zero_access_region_gets_no_capacity():
+    cache = LastLevelCache(CacheConfig(capacity_bytes=16 * MIB))
+    idle = region(rid="idle", mib=8, reads=0.0)
+    busy = region(rid="busy", mib=16, reads=100.0, reuse=1.0)
+    results = {r.region_id: r for r in cache.apportion([idle, busy])}
+    assert results["busy"].cached_fraction == 1.0
+    assert results["idle"].misses == 0.0
+
+
+def test_write_misses_generate_writeback_traffic():
+    cache = LastLevelCache(CacheConfig(capacity_bytes=1 * MIB))
+    reads_only = cache.apportion([region(mib=512, reads=1000, writes=0)])[0]
+    writes_only = cache.apportion([region(mib=512, reads=0, writes=1000)])[0]
+    # A dirty miss costs the fill plus the eviction writeback.
+    assert writes_only.traffic_bytes == pytest.approx(
+        2 * reads_only.traffic_bytes, rel=0.01
+    )
+
+
+def test_bytes_per_miss_scales_traffic():
+    cache = LastLevelCache(CacheConfig(capacity_bytes=1 * MIB))
+    narrow = cache.apportion([region(mib=512, bpm=64.0)])[0]
+    wide = cache.apportion([region(mib=512, bpm=256.0)])[0]
+    assert wide.traffic_bytes == pytest.approx(4 * narrow.traffic_bytes)
+
+
+def test_mpki_helper():
+    cache = LastLevelCache()
+    assert cache.mpki(misses=1000, instructions=1_000_000) == 1.0
+    assert cache.mpki(misses=10, instructions=0) == 0.0
+
+
+def test_total_misses_conserved_across_split():
+    """Splitting one region into halves cannot create or destroy misses
+    when the halves inherit the same density."""
+    cache = LastLevelCache(CacheConfig(capacity_bytes=8 * MIB))
+    whole = cache.apportion([region(mib=32, reads=1000, reuse=0.8)])
+    halves = cache.apportion(
+        [
+            region(rid="h1", mib=16, reads=500, reuse=0.8),
+            region(rid="h2", mib=16, reads=500, reuse=0.8),
+        ]
+    )
+    assert sum(r.misses for r in halves) == pytest.approx(
+        sum(r.misses for r in whole), rel=0.01
+    )

@@ -1,0 +1,61 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_list_command(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "graphchi" in out
+    assert "hetero-lru" in out
+
+
+def test_run_command(capsys):
+    code = main(["run", "nginx", "hetero-lru", "--epochs", "5"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "runtime" in out
+    assert "mpki" in out
+    assert "ops-per-sec" in out
+
+
+def test_run_command_platform_knobs(capsys):
+    code = main(
+        [
+            "run", "nginx", "slowmem-only", "--epochs", "3",
+            "--ratio", "0.5", "--latency-factor", "2",
+            "--bandwidth-factor", "2", "--llc-mib", "48",
+        ]
+    )
+    assert code == 0
+
+
+def test_compare_command(capsys):
+    code = main(["compare", "nginx", "--epochs", "3"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "slowmem-only" in out
+    assert "gain_pct" in out
+
+
+def test_figure_command_static(capsys):
+    assert main(["figure", "table6"]) == 0
+    out = capsys.readouterr().out
+    assert "t_page_move_us" in out
+
+
+def test_figure_command_unknown(capsys):
+    assert main(["figure", "fig99"]) == 2
+    assert "unknown figure" in capsys.readouterr().err
+
+
+def test_parser_requires_subcommand():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_unknown_app_raises():
+    with pytest.raises(Exception):
+        main(["run", "doom", "hetero-lru", "--epochs", "1"])

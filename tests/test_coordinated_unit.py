@@ -1,0 +1,147 @@
+"""Coordinated policy internals with a hypervisor-backed binding."""
+
+import pytest
+
+from repro.core.coordinated import CoordinatedPolicy
+from repro.core.policy import PolicyBinding
+from repro.guestos.balloon import TierReservation
+from repro.guestos.kernel import GuestKernel
+from repro.guestos.numa import NodeTier
+from repro.hw.memdevice import DRAM, NVM_PCM
+from repro.mem.extent import PageType
+from repro.units import MIB
+from repro.vmm.hypervisor import Hypervisor
+from repro.vmm.sharing import MaxMinSharing
+
+
+@pytest.fixture
+def stack():
+    hypervisor = Hypervisor(
+        {
+            NodeTier.FAST: DRAM.with_capacity(16 * MIB),
+            NodeTier.SLOW: NVM_PCM.with_capacity(128 * MIB),
+        },
+        sharing_policy=MaxMinSharing(),
+    )
+    domain = hypervisor.create_domain(
+        "vm",
+        {
+            NodeTier.FAST: TierReservation(4096, 4096),
+            NodeTier.SLOW: TierReservation(32768, 32768),
+        },
+    )
+    nodes = hypervisor.build_guest_nodes(domain)
+    kernel = GuestKernel(
+        nodes, cpus=2, balloon=hypervisor.make_balloon_frontend(domain)
+    )
+    hypervisor.attach_kernel(domain, kernel)
+    policy = CoordinatedPolicy(initial_interval_ms=100.0)
+    policy.bind(
+        PolicyBinding(kernel=kernel, hypervisor=hypervisor, domain=domain)
+    )
+    return hypervisor, domain, kernel, policy
+
+
+def test_tracking_list_publishes_heap_regions_only(stack):
+    hypervisor, domain, kernel, policy = stack
+    kernel.begin_epoch(0)
+    kernel.allocate_region("heap", PageType.HEAP, 128, [1])
+    kernel.allocate_region("io", PageType.PAGE_CACHE, 128, [1])
+    channel = hypervisor.channel(domain.domain_id)
+    policy._publish_tracking(channel)
+    regions, exceptions = channel.vmm_read_tracking()
+    assert regions == ["heap"]
+    assert PageType.PAGE_CACHE in exceptions
+
+
+def test_scan_reports_hot_heap_extents(stack):
+    hypervisor, domain, kernel, policy = stack
+    channel = hypervisor.channel(domain.domain_id)
+    kernel.begin_epoch(0)
+    kernel.allocate_region("heap", PageType.HEAP, 512, [1])
+    for epoch in range(6):
+        kernel.begin_epoch(epoch)
+        kernel.touch_region("heap", 512 * 50.0)
+        policy._publish_tracking(channel)
+        policy._vmm_scan(channel)
+    assert channel.hot_report  # the VMM found the heap hot
+
+
+def test_guest_migrate_validates_and_moves(stack):
+    hypervisor, domain, kernel, policy = stack
+    channel = hypervisor.channel(domain.domain_id)
+    kernel.begin_epoch(0)
+    (hot,) = kernel.allocate_region("heap", PageType.HEAP, 512, [1])
+    for epoch in range(6):
+        kernel.begin_epoch(epoch)
+        kernel.touch_region("heap", 512 * 50.0)
+        policy._publish_tracking(channel)
+        policy._vmm_scan(channel)
+    cost = policy._guest_migrate(channel)
+    assert cost > 0
+    assert policy.pages_migrated == 512
+    assert hot.node_id in kernel.fast_node_ids
+
+
+def test_guest_migrate_skips_dead_and_dirty(stack):
+    hypervisor, domain, kernel, policy = stack
+    channel = hypervisor.channel(domain.domain_id)
+    kernel.begin_epoch(0)
+    (dirty_io,) = kernel.allocate_region(
+        "io", PageType.PAGE_CACHE, 64, [1], dirty=True
+    )
+    channel.vmm_publish_hot([dirty_io.extent_id, 99999])
+    cost = policy._guest_migrate(channel)
+    # Dirty I/O and dead ids were rejected before any move was paid for.
+    assert policy.pages_migrated == 0
+    assert cost == 0.0
+
+
+def test_interval_recorded_each_epoch(stack):
+    hypervisor, domain, kernel, policy = stack
+    kernel.begin_epoch(0)
+    policy.on_epoch_end(0)
+    kernel.begin_epoch(1)
+    policy.on_epoch_end(1)
+    assert len(policy.intervals_ms) == 2
+    assert all(50.0 <= v <= 1000.0 for v in policy.intervals_ms)
+
+
+def test_vmm_exclusive_full_cycle_with_stack():
+    """VMM-exclusive promotes hot extents through scan->migrate."""
+    from repro.core.baselines import VmmExclusivePolicy
+
+    hypervisor = Hypervisor(
+        {
+            NodeTier.FAST: DRAM.with_capacity(16 * MIB),
+            NodeTier.SLOW: NVM_PCM.with_capacity(128 * MIB),
+        },
+        sharing_policy=MaxMinSharing(),
+    )
+    domain = hypervisor.create_domain(
+        "vm",
+        {
+            NodeTier.FAST: TierReservation(4096, 4096),
+            NodeTier.SLOW: TierReservation(32768, 32768),
+        },
+    )
+    kernel = GuestKernel(
+        hypervisor.build_guest_nodes(domain), cpus=2,
+        balloon=hypervisor.make_balloon_frontend(domain),
+    )
+    hypervisor.attach_kernel(domain, kernel)
+    policy = VmmExclusivePolicy(scan_interval_epochs=1)
+    policy.bind(
+        PolicyBinding(kernel=kernel, hypervisor=hypervisor, domain=domain)
+    )
+    kernel.begin_epoch(0)
+    kernel.allocate_region(
+        "hot", PageType.HEAP, 512, policy.node_preference(PageType.HEAP)
+    )
+    for epoch in range(10):
+        kernel.begin_epoch(epoch)
+        kernel.touch_region("hot", 512 * 50.0)
+        policy.on_epoch_end(epoch)
+    assert policy.pages_migrated >= 512
+    placements = {e.node_id for e in kernel.region_extents("hot")}
+    assert placements & set(kernel.fast_node_ids)

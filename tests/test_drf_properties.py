@@ -1,0 +1,121 @@
+"""Property-based tests of the sharing policies' arbitration maths."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.guestos.balloon import TierReservation
+from repro.guestos.numa import NodeTier
+from repro.hw.memdevice import DRAM, NVM_PCM
+from repro.vmm.domain import Domain
+from repro.vmm.drf import WeightedDrf
+from repro.vmm.machine import MachineMemory
+from repro.vmm.sharing import MaxMinSharing
+
+TIERS = (NodeTier.FAST, NodeTier.SLOW)
+
+
+def build_world(fast_total, slow_total, holdings):
+    """Machine + domains with given (fast, slow) minimums==holdings."""
+    machine = MachineMemory(
+        {
+            NodeTier.FAST: DRAM.with_capacity(fast_total * 4096),
+            NodeTier.SLOW: NVM_PCM.with_capacity(slow_total * 4096),
+        }
+    )
+    domains = []
+    for index, (fast_min, fast_extra, slow_min, slow_extra) in enumerate(
+        holdings
+    ):
+        domain = Domain(
+            domain_id=index + 1,
+            name=f"vm{index}",
+            reservations={
+                NodeTier.FAST: TierReservation(fast_min, fast_total),
+                NodeTier.SLOW: TierReservation(slow_min, slow_total),
+            },
+        )
+        for tier, minimum, extra in (
+            (NodeTier.FAST, fast_min, fast_extra),
+            (NodeTier.SLOW, slow_min, slow_extra),
+        ):
+            want = min(minimum + extra, machine.free_pages(tier))
+            if want > 0:
+                domain.record_grant(tier, machine.allocate(tier, want))
+        domains.append(domain)
+    return machine, domains
+
+
+holdings_strategy = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=200),   # fast min
+        st.integers(min_value=0, max_value=200),   # fast overcommit
+        st.integers(min_value=0, max_value=500),   # slow min
+        st.integers(min_value=0, max_value=500),   # slow overcommit
+    ),
+    min_size=2,
+    max_size=4,
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    holdings=holdings_strategy,
+    request_pages=st.integers(min_value=1, max_value=2000),
+    tier=st.sampled_from(TIERS),
+)
+def test_drf_decision_bounds(holdings, request_pages, tier):
+    machine, domains = build_world(2000, 5000, holdings)
+    requester = domains[0]
+    decision = WeightedDrf().arbitrate(
+        requester, tier, request_pages, machine, domains
+    )
+    # Never grant more than asked.
+    assert 0 <= decision.total_pages <= request_pages
+    # Pool grants never exceed the pool.
+    assert decision.granted_from_pool <= machine.free_pages(tier)
+    for reclaim in decision.reclaims:
+        # Victims are other domains, and only their overcommit is taken.
+        assert reclaim.victim is not requester
+        assert reclaim.pages <= reclaim.victim.overcommit_pages(tier)
+        assert reclaim.tier is tier
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    holdings=holdings_strategy,
+    request_pages=st.integers(min_value=1, max_value=2000),
+    tier=st.sampled_from(TIERS),
+)
+def test_maxmin_decision_bounds(holdings, request_pages, tier):
+    machine, domains = build_world(2000, 5000, holdings)
+    requester = domains[-1]
+    decision = MaxMinSharing().arbitrate(
+        requester, tier, request_pages, machine, domains
+    )
+    assert 0 <= decision.total_pages <= request_pages
+    assert decision.granted_from_pool <= machine.free_pages(tier)
+    for reclaim in decision.reclaims:
+        assert reclaim.victim is not requester
+        # Even max-min never digs below a quarter of the victim's
+        # reserved minimum.
+        floor = reclaim.victim.reservations[tier].min_pages // 4
+        assert reclaim.victim.pages(tier) - reclaim.pages >= floor
+
+
+@settings(max_examples=60, deadline=None)
+@given(holdings=holdings_strategy)
+def test_drf_shares_are_non_negative_and_monotone_in_holdings(holdings):
+    machine, domains = build_world(2000, 5000, holdings)
+    drf = WeightedDrf()
+    shares = drf.dominant_shares(machine, domains)
+    assert all(share >= 0 for share in shares.values())
+    # Granting more to one domain never lowers its dominant share.
+    target = domains[0]
+    before = shares[target.domain_id]
+    grantable = min(50, machine.free_pages(NodeTier.SLOW))
+    if grantable > 0:
+        target.record_grant(
+            NodeTier.SLOW, machine.allocate(NodeTier.SLOW, grantable)
+        )
+        after = drf.dominant_shares(machine, domains)[target.domain_id]
+        assert after >= before - 1e-12

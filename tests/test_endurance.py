@@ -1,0 +1,80 @@
+"""NVM endurance accounting."""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hw.endurance import (
+    SECONDS_PER_YEAR,
+    WearTracker,
+    estimated_lifetime_years,
+)
+from repro.hw.memdevice import DRAM, NVM_PCM
+from repro.sim.runner import build_config, run_experiment
+from repro.units import NS_PER_SEC
+
+
+def test_dram_lifetime_is_unbounded():
+    assert estimated_lifetime_years(DRAM, 1e12) == math.inf
+
+
+def test_zero_writes_is_unbounded():
+    assert estimated_lifetime_years(NVM_PCM, 0.0) == math.inf
+
+
+def test_pcm_lifetime_math():
+    # budget = capacity * endurance * efficiency; rate = budget/lifetime.
+    rate = 1e9  # 1 GB/s of writes
+    years = estimated_lifetime_years(NVM_PCM, rate, wear_leveling_efficiency=1.0)
+    expected = (
+        NVM_PCM.capacity_bytes * NVM_PCM.endurance_cycles / rate
+    ) / SECONDS_PER_YEAR
+    assert years == pytest.approx(expected)
+
+
+def test_wear_leveling_efficiency_scales_lifetime():
+    perfect = estimated_lifetime_years(NVM_PCM, 1e9, 1.0)
+    half = estimated_lifetime_years(NVM_PCM, 1e9, 0.5)
+    assert half == pytest.approx(perfect / 2)
+    with pytest.raises(ConfigurationError):
+        estimated_lifetime_years(NVM_PCM, 1e9, 0.0)
+
+
+def test_tracker_accumulates_and_rates():
+    tracker = WearTracker()
+    tracker.record(NVM_PCM, 500.0)
+    tracker.record(NVM_PCM, 500.0)
+    tracker.record(DRAM, 100.0)
+    assert tracker.write_bytes[NVM_PCM.name] == 1000.0
+    assert tracker.write_rate(NVM_PCM.name, NS_PER_SEC) == pytest.approx(1000.0)
+    assert tracker.write_rate("unknown", NS_PER_SEC) == 0.0
+    assert tracker.lifetime_years(DRAM.name, NS_PER_SEC) == math.inf
+    assert tracker.lifetime_years(NVM_PCM.name, NS_PER_SEC) < math.inf
+    with pytest.raises(ConfigurationError):
+        tracker.record(DRAM, -1.0)
+
+
+def test_engine_reports_per_device_wear():
+    config = build_config(fast_ratio=0.25, slow_device=NVM_PCM)
+    result = run_experiment("redis", "slowmem-only", epochs=10, config=config)
+    slow_name = config.resolved_slow_device().name
+    assert result.device_write_bytes.get(slow_name, 0) > 0
+    assert result.device_lifetime_years[slow_name] < math.inf
+
+
+def test_placement_reduces_nvm_wear():
+    """Keeping write traffic on FastMem extends the NVM's life — the
+    endurance side-benefit of HeteroOS placement."""
+    config_kwargs = dict(fast_ratio=0.25, slow_device=NVM_PCM)
+    naive = run_experiment(
+        "redis", "slowmem-only", epochs=20,
+        config=build_config(**config_kwargs),
+    )
+    config = build_config(**config_kwargs)
+    placed = run_experiment("redis", "hetero-lru", epochs=20, config=config)
+    slow_name = config.resolved_slow_device().name
+    assert (
+        placed.device_write_bytes.get(slow_name, 0.0)
+        < naive.device_write_bytes[slow_name]
+    )

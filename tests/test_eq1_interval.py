@@ -1,0 +1,34 @@
+"""Equation 1: the LLC-miss-adaptive tracking interval."""
+
+import pytest
+
+from repro.core.coordinated import next_interval_ms
+
+
+def test_rising_misses_shorten_interval():
+    assert next_interval_ms(200.0, llc_delta=0.5) == pytest.approx(100.0)
+
+
+def test_falling_misses_lengthen_interval():
+    assert next_interval_ms(200.0, llc_delta=-0.5) == pytest.approx(300.0)
+
+
+def test_stable_misses_keep_interval():
+    assert next_interval_ms(200.0, llc_delta=0.0) == pytest.approx(200.0)
+
+
+def test_clamped_to_paper_range():
+    # "dynamically vary the hotness scanning interval from 50ms to 1
+    # second" (Section 5.4).
+    assert next_interval_ms(60.0, llc_delta=5.0) == 50.0
+    assert next_interval_ms(900.0, llc_delta=-5.0) == 1000.0
+
+
+def test_custom_clamp_range():
+    assert next_interval_ms(100.0, 10.0, min_ms=10.0, max_ms=500.0) == 10.0
+    assert next_interval_ms(100.0, -10.0, min_ms=10.0, max_ms=500.0) == 500.0
+
+
+def test_interval_never_negative_or_zero():
+    for delta in (-10.0, -1.0, 0.0, 0.99, 1.0, 10.0):
+        assert next_interval_ms(100.0, delta) >= 50.0

@@ -1,0 +1,107 @@
+"""Experiment drivers (light smoke runs) and the report formatter."""
+
+import pytest
+
+from repro.experiments import (
+    run_fig1,
+    run_fig3,
+    run_fig4,
+    run_fig6,
+    run_fig7,
+    run_fig9,
+    run_fig11,
+    run_table1,
+    run_table3,
+    run_table4,
+    run_table5,
+    run_table6,
+)
+from repro.experiments.report import format_table
+from repro.hw.throttle import ThrottleConfig
+
+
+# ----------------------------------------------------------------------
+# Report formatter
+# ----------------------------------------------------------------------
+
+def test_format_table_alignment_and_floats():
+    rows = [
+        {"name": "a", "value": 1.23456},
+        {"name": "bbb", "value": 12.0},
+    ]
+    text = format_table(rows, title="T", float_digits=2)
+    lines = text.splitlines()
+    assert lines[0] == "T"
+    assert "1.23" in text and "12.00" in text
+    # All rows padded to equal width.
+    assert len(set(len(line) for line in lines[1:])) == 1
+
+
+def test_format_table_empty_and_column_subset():
+    assert "(empty)" in format_table([], title="x")
+    rows = [{"a": 1, "b": 2}]
+    text = format_table(rows, columns=["b"])
+    assert "a" not in text.splitlines()[0]
+
+
+# ----------------------------------------------------------------------
+# Static tables
+# ----------------------------------------------------------------------
+
+def test_static_tables_have_expected_shapes():
+    assert len(run_table1()) == 3
+    assert len(run_table3()) == 4
+    assert len(run_table5()) == 4
+    assert len(run_table6()) == 3
+
+
+# ----------------------------------------------------------------------
+# Dynamic figures — tiny smoke runs (shapes asserted by the benchmarks)
+# ----------------------------------------------------------------------
+
+def test_table4_smoke():
+    rows = run_table4(apps=("nginx",), epochs=5)
+    assert rows[0]["app"] == "nginx"
+    assert rows[0]["mpki"] > 0
+
+
+def test_fig1_smoke():
+    rows = run_fig1(
+        apps=("nginx",), epochs=5,
+        sweep=(ThrottleConfig(5, 9),), include_remote_numa=True,
+    )
+    row = rows[0]
+    assert row["L:5,B:9"] >= 1.0
+    assert row["remote-numa"] >= 1.0
+
+
+def test_fig3_smoke():
+    rows = run_fig3(apps=("nginx",), ratios=(0.5,), epochs=5)
+    assert rows[0]["1/2"] >= 1.0
+
+
+def test_fig4_smoke():
+    rows = run_fig4(apps=("leveldb",), epochs=10)
+    assert rows[0]["total_millions"] > 0
+
+
+def test_fig6_fig7_smoke():
+    lat = run_fig6(wss_gib=(0.25,), policies=("slowmem-only",), epochs=4)
+    assert lat[0]["slowmem-only"] > 0
+    bw = run_fig7(wss_gib=(0.5,), policies=("slowmem-only",), epochs=4)
+    assert bw[0]["slowmem-only"] > 0
+
+
+def test_fig9_smoke():
+    rows = run_fig9(
+        apps=("nginx",), ratios=(0.25,), policies=("heap-od",), epochs=5
+    )
+    assert "heap-od" in rows[0]
+    assert "fastmem-only" in rows[0]
+
+
+def test_fig11_smoke():
+    rows = run_fig11(
+        apps=("nginx",), ratios=(0.25,), policies=("hetero-lru",), epochs=5
+    )
+    assert "hetero-lru" in rows[0]

@@ -1,0 +1,224 @@
+"""Section 4.3 extension policies: write-aware NVM placement,
+multi-level ladders, bare-metal native mode."""
+
+import pytest
+
+from conftest import make_kernel
+from repro.core import make_policy
+from repro.core.multilevel import MultiLevelPolicy
+from repro.core.native import NativeCoordinatedPolicy
+from repro.core.nvm_write_aware import NvmWriteAwarePolicy
+from repro.core.policy import PolicyBinding
+from repro.guestos.kernel import GuestKernel
+from repro.guestos.numa import NodeTier, build_node
+from repro.hw.memdevice import DRAM, NVM_PCM, STACKED_3D
+from repro.mem.extent import PageType
+from repro.units import MIB, pages_of_bytes
+
+
+def bind(policy, kernel=None):
+    kernel = kernel or make_kernel()
+    policy.bind(PolicyBinding(kernel=kernel))
+    return kernel
+
+
+def make_three_tier_kernel() -> GuestKernel:
+    base = 0
+    nodes = {}
+    for node_id, (tier, device, mib) in enumerate(
+        [
+            (NodeTier.FAST, STACKED_3D, 16),
+            (NodeTier.MEDIUM, DRAM, 64),
+            (NodeTier.SLOW, NVM_PCM, 256),
+        ]
+    ):
+        nodes[node_id] = build_node(
+            node_id, tier, device.with_capacity(mib * MIB), base
+        )
+        base += pages_of_bytes(mib * MIB)
+    return GuestKernel(nodes, cpus=2, balloon=None)
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+
+def test_extension_policies_registered():
+    from repro.core import available_policies
+
+    names = set(available_policies())
+    assert {"nvm-write-aware", "multi-level", "hetero-native"} <= names
+
+
+# ----------------------------------------------------------------------
+# Write temperature plumbing
+# ----------------------------------------------------------------------
+
+def test_write_temperature_tracked_separately(kernel):
+    kernel.begin_epoch(0)
+    (extent,) = kernel.allocate_region("r", PageType.HEAP, 10, [0])
+    kernel.touch_region("r", 1000.0, writes=900.0)
+    assert extent.write_temperature == pytest.approx(900.0)
+    assert extent.temperature == pytest.approx(1000.0)
+    assert extent.dirty
+
+
+def test_write_temperature_split_proportionally(kernel):
+    kernel.begin_epoch(0)
+    (extent,) = kernel.allocate_region("r", PageType.HEAP, 100, [0])
+    kernel.touch_region("r", 1000.0, writes=500.0)
+    sibling = kernel.split_extent(extent, 40)
+    assert extent.write_temperature == pytest.approx(200.0)
+    assert sibling.write_temperature == pytest.approx(300.0)
+
+
+# ----------------------------------------------------------------------
+# NvmWriteAwarePolicy
+# ----------------------------------------------------------------------
+
+def test_write_aware_promotes_write_heavy_slow_extents():
+    policy = NvmWriteAwarePolicy(scan_interval_epochs=1)
+    kernel = bind(policy)
+    kernel.begin_epoch(0)
+    kernel.allocate_region("log", PageType.HEAP, 512, [1])
+    for epoch in range(4):
+        kernel.begin_epoch(epoch)
+        kernel.touch_region("log", 5000.0, writes=4500.0)
+        policy.on_epoch_end(epoch)
+    assert policy.pages_promoted_for_writes == 512
+    (extent,) = kernel.region_extents("log")
+    assert kernel.nodes[extent.node_id].is_fastmem
+
+
+def test_write_aware_leaves_read_heavy_pages_on_slow():
+    policy = NvmWriteAwarePolicy(scan_interval_epochs=1)
+    kernel = bind(policy)
+    for epoch in range(4):
+        kernel.begin_epoch(epoch)
+        if epoch == 0:
+            kernel.allocate_region("reads", PageType.HEAP, 512, [1])
+        kernel.touch_region("reads", 5000.0, writes=10.0)
+        policy.on_epoch_end(epoch)
+    assert policy.pages_promoted_for_writes == 0
+    (extent,) = kernel.region_extents("reads")
+    assert not kernel.nodes[extent.node_id].is_fastmem
+
+
+def test_write_aware_charges_rw_scan_cost():
+    policy = NvmWriteAwarePolicy(scan_interval_epochs=1)
+    kernel = bind(policy)
+    kernel.begin_epoch(0)
+    kernel.allocate_region("r", PageType.HEAP, 256, [1])
+    kernel.touch_region("r", 100.0, writes=10.0)
+    overhead = policy.on_epoch_end(0)
+    assert overhead > 0
+    assert policy.rw_scan_cost_ns > 0
+
+
+def test_write_aware_displaces_only_cooler_adjusted_density():
+    """A write-hot candidate displaces read-lukewarm FastMem pages but
+    not read-blazing ones."""
+    policy = NvmWriteAwarePolicy(scan_interval_epochs=1)
+    kernel = bind(policy, make_kernel(fast_mib=2, slow_mib=64))
+    fast_pages = kernel.nodes[0].free_pages_for(PageType.HEAP)
+    kernel.begin_epoch(0)
+    kernel.allocate_region("blazing", PageType.HEAP, fast_pages, [0])
+    kernel.allocate_region("log", PageType.HEAP, 256, [1])
+    for epoch in range(4):
+        kernel.begin_epoch(epoch)
+        kernel.touch_region("blazing", 500_000.0, writes=1000.0)
+        kernel.touch_region("log", 3000.0, writes=2800.0)
+        policy.on_epoch_end(epoch)
+    # log's adjusted density (~3x write weight on PCM) is far below the
+    # blazing read set's: no displacement happens.
+    (blazing,) = kernel.region_extents("blazing")
+    assert kernel.nodes[blazing.node_id].is_fastmem
+
+
+# ----------------------------------------------------------------------
+# MultiLevelPolicy
+# ----------------------------------------------------------------------
+
+def test_multilevel_preference_walks_tiers_fastest_first():
+    policy = MultiLevelPolicy()
+    kernel = make_three_tier_kernel()
+    policy.bind(PolicyBinding(kernel=kernel))
+    assert policy.node_preference(PageType.HEAP) == [0, 1, 2]
+    assert policy.node_preference(PageType.DMA)[0] != 0
+
+
+def test_multilevel_demotes_heap_one_tier_at_a_time():
+    policy = MultiLevelPolicy(fast_free_target=0.5)
+    kernel = make_three_tier_kernel()
+    policy.bind(PolicyBinding(kernel=kernel))
+    kernel.begin_epoch(0)
+    fast_pages = kernel.nodes[0].free_pages_for(PageType.HEAP)
+    kernel.allocate_region("idle", PageType.HEAP, fast_pages, [0])
+    kernel.touch_region("idle", 1.0)
+    for epoch in range(1, 5):
+        kernel.begin_epoch(epoch)
+        policy.on_epoch_end(epoch)
+    # Idle heap stepped FAST -> MEDIUM (not straight to SLOW).
+    placements = {e.node_id for e in kernel.region_extents("idle")}
+    assert 1 in placements
+    assert 2 not in placements
+
+
+def test_multilevel_drops_completed_io_instead_of_stepping():
+    policy = MultiLevelPolicy(fast_free_target=0.9)
+    kernel = make_three_tier_kernel()
+    policy.bind(PolicyBinding(kernel=kernel))
+    kernel.begin_epoch(0)
+    (io,) = kernel.allocate_region("io", PageType.PAGE_CACHE, 64, [0])
+    kernel.page_cache.complete_io(io)
+    policy.on_epoch_end(0)
+    assert io.extent_id not in kernel.extents  # dropped, not migrated
+
+
+def test_multilevel_on_two_tier_guest_degenerates_gracefully():
+    policy = MultiLevelPolicy()
+    kernel = bind(policy)
+    kernel.begin_epoch(0)
+    kernel.allocate_region("r", PageType.HEAP, 64, [0])
+    assert policy.on_epoch_end(0) >= 0.0
+
+
+# ----------------------------------------------------------------------
+# NativeCoordinatedPolicy
+# ----------------------------------------------------------------------
+
+def test_native_binds_without_hypervisor():
+    policy = NativeCoordinatedPolicy()
+    bind(policy)  # must not raise (coordinated would)
+
+
+def test_native_keeps_its_own_counters():
+    policy = NativeCoordinatedPolicy()
+    bind(policy)
+    policy.on_llc_sample(100.0, 1e6)
+    policy.on_llc_sample(150.0, 1e6)
+    assert policy.counters.llc_miss_delta() == pytest.approx(0.5)
+
+
+def test_native_promotes_hot_slow_heap():
+    policy = NativeCoordinatedPolicy(initial_interval_ms=50.0)
+    kernel = bind(policy)
+    kernel.begin_epoch(0)
+    kernel.allocate_region("hot", PageType.HEAP, 1024, [1])
+    for epoch in range(8):
+        kernel.begin_epoch(epoch)
+        kernel.touch_region("hot", 1024 * 50.0)
+        policy.on_llc_sample(1000.0, 1e6)
+        policy.on_epoch_end(epoch)
+    assert policy.pages_migrated > 0
+    placements = {e.node_id for e in kernel.region_extents("hot")}
+    assert 0 in placements
+
+
+def test_native_interval_adapts_with_llc_misses():
+    policy = NativeCoordinatedPolicy(initial_interval_ms=200.0)
+    bind(policy)
+    policy.on_llc_sample(100.0, 1e6)
+    policy.on_llc_sample(50.0, 1e6)  # falling misses
+    policy.on_epoch_end(0)
+    assert policy.interval_ms > 200.0

@@ -1,0 +1,137 @@
+"""Failure injection: the system degrades, it does not fall over."""
+
+import pytest
+
+from conftest import make_kernel
+from repro.config import SimConfig
+from repro.core import make_policy
+from repro.errors import OutOfMemoryError
+from repro.guestos.swap import SwapDevice
+from repro.mem.extent import PageType
+from repro.sim.engine import SimulationEngine
+from repro.units import MIB
+from repro.workloads.base import RegionSpec, StatisticalWorkload
+
+
+def overcommitted_workload(pages=40_000) -> StatisticalWorkload:
+    return StatisticalWorkload(
+        name="overcommit",
+        mlp=4.0,
+        instructions_per_epoch=1e6,
+        accesses_per_epoch=10_000.0,
+        resident=[
+            RegionSpec("a", PageType.HEAP, pages, 0.7, 1.0),
+            RegionSpec("b", PageType.HEAP, pages, 0.7, 1.0, alloc_epoch=2),
+            RegionSpec("c", PageType.HEAP, pages, 0.7, 0.5, alloc_epoch=4,
+                       access_period=4),
+        ],
+    )
+
+
+def tiny_config() -> SimConfig:
+    return SimConfig(
+        fast_capacity_bytes=16 * MIB, slow_capacity_bytes=256 * MIB
+    )
+
+
+def test_overcommit_swaps_instead_of_crashing():
+    engine = SimulationEngine(
+        tiny_config(), overcommitted_workload(), make_policy("heap-od")
+    )
+    result = engine.run(8)
+    assert result.swap_pages_out > 0
+    engine.kernel.check_invariants()
+
+
+def test_swap_device_full_drops_allocations_gracefully():
+    engine = SimulationEngine(
+        tiny_config(), overcommitted_workload(), make_policy("heap-od")
+    )
+    # Replace the swap device with a nearly-full one.
+    engine.kernel.swap = SwapDevice(capacity_pages=64)
+    result = engine.run(8)
+    # The third region cannot fit and cannot swap: it is dropped, and
+    # the run still completes with sane accounting.
+    assert result.stats.dropped_allocation_pages > 0
+    engine.kernel.check_invariants()
+
+
+def test_shrink_node_with_full_swap_reclaims_what_it_can(kernel):
+    kernel.swap = SwapDevice(capacity_pages=16)
+    slow = kernel.nodes[1]
+    usable = slow.free_pages_for(PageType.HEAP)
+    kernel.begin_epoch(0)
+    kernel.allocate_region("cold", PageType.HEAP, usable, [1])
+    freed = kernel.shrink_node(1, slow.free_pages + 5000)
+    # The swap device caps reclaim; no crash, partial progress only.
+    assert freed <= slow.free_pages + 16
+    kernel.check_invariants()
+
+
+def test_touch_swapped_with_no_room_anywhere_charges_penalty(kernel):
+    kernel.begin_epoch(0)
+    # Fill both nodes completely.
+    fast = kernel.nodes[0].free_pages_for(PageType.HEAP)
+    kernel.allocate_region("fast-fill", PageType.HEAP, fast, [0])
+    slow_pages = kernel.nodes[1].free_pages_for(PageType.HEAP)
+    kernel.allocate_region("cold", PageType.HEAP, slow_pages, [1])
+    # Swap the cold region out, then refill its space.
+    kernel.shrink_node(1, kernel.nodes[1].free_pages + slow_pages)
+    refill = kernel.nodes[1].free_pages_for(PageType.HEAP)
+    if refill:
+        kernel.allocate_region("refill", PageType.HEAP, refill, [1])
+    kernel.drain_pending_cost()
+    kernel.touch_region("cold", 1000.0)
+    # Nothing fits: the refault penalty is charged, state stays swapped.
+    assert kernel.pending_cost_ns > 0
+    kernel.check_invariants()
+
+
+def test_engine_oom_path_records_drops_not_exceptions():
+    workload = StatisticalWorkload(
+        name="monster",
+        mlp=4.0,
+        instructions_per_epoch=1e6,
+        accesses_per_epoch=1000.0,
+        resident=[
+            RegionSpec("huge", PageType.HEAP, 10**7, 0.5, 1.0),
+        ],
+    )
+    engine = SimulationEngine(tiny_config(), workload, make_policy("heap-od"))
+    result = engine.run(2)
+    assert result.stats.dropped_allocation_pages > 0
+    assert result.stats.epochs == 2
+
+
+def test_balloonless_kernel_handles_pressure(kernel):
+    # No balloon front-end at all: allocation falls through nodes only.
+    assert kernel.balloon is None
+    total = sum(n.free_pages_for(PageType.HEAP) for n in kernel.nodes.values())
+    kernel.begin_epoch(0)
+    extents = kernel.allocate_region("all", PageType.HEAP, total, [0, 1])
+    assert sum(e.pages for e in extents) == total
+    with pytest.raises(OutOfMemoryError):
+        kernel.allocate_region("more", PageType.HEAP, 64, [0, 1])
+    kernel.check_invariants()
+
+
+def test_vmm_exclusive_survives_churn_heavy_free_storms():
+    """Stale hot reports (freed extents) charge walks but never crash."""
+    workload = StatisticalWorkload(
+        name="churny",
+        mlp=4.0,
+        instructions_per_epoch=1e6,
+        accesses_per_epoch=100_000.0,
+        resident=[],
+        churn=[
+            __import__("repro.workloads.base", fromlist=["ChurnSpec"]).ChurnSpec(
+                "flash", PageType.HEAP, 2000, 1, 0.5, 1.0
+            ),
+        ],
+    )
+    engine = SimulationEngine(
+        tiny_config(), workload, make_policy("vmm-exclusive")
+    )
+    result = engine.run(12)
+    assert result.stats.epochs == 12
+    engine.kernel.check_invariants()

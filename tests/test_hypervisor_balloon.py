@@ -1,0 +1,161 @@
+"""Hypervisor facade, balloon front-end/back-end integration."""
+
+import pytest
+
+from repro.errors import ConfigurationError, SharingError
+from repro.guestos.balloon import BalloonFrontend, TierReservation
+from repro.guestos.kernel import GuestKernel
+from repro.guestos.numa import NodeTier
+from repro.hw.memdevice import DRAM, NVM_PCM
+from repro.mem.extent import PageType
+from repro.units import MIB, pages_of_bytes
+from repro.vmm.drf import WeightedDrf
+from repro.vmm.hypervisor import Hypervisor
+from repro.vmm.sharing import MaxMinSharing
+
+
+def make_hypervisor(fast_mib=64, slow_mib=256) -> Hypervisor:
+    return Hypervisor(
+        {
+            NodeTier.FAST: DRAM.with_capacity(fast_mib * MIB),
+            NodeTier.SLOW: NVM_PCM.with_capacity(slow_mib * MIB),
+        },
+        sharing_policy=MaxMinSharing(),
+    )
+
+
+def boot_guest(hypervisor, name="vm", fast=(2048, 4096), slow=(8192, 16384)):
+    domain = hypervisor.create_domain(
+        name,
+        {
+            NodeTier.FAST: TierReservation(*fast),
+            NodeTier.SLOW: TierReservation(*slow),
+        },
+    )
+    nodes = hypervisor.build_guest_nodes(domain)
+    kernel = GuestKernel(
+        nodes, cpus=2, balloon=hypervisor.make_balloon_frontend(domain)
+    )
+    hypervisor.attach_kernel(domain, kernel)
+    return domain, kernel
+
+
+def test_create_domain_grants_boot_minimum():
+    hypervisor = make_hypervisor()
+    domain, _ = boot_guest(hypervisor)
+    assert domain.pages(NodeTier.FAST) == 2048
+    assert domain.pages(NodeTier.SLOW) == 8192
+    assert (
+        hypervisor.machine.free_pages(NodeTier.FAST)
+        == hypervisor.machine.total_pages(NodeTier.FAST) - 2048
+    )
+
+
+def test_guest_nodes_sized_at_max_with_unreserved_hidden():
+    hypervisor = make_hypervisor()
+    domain, kernel = boot_guest(hypervisor)
+    fast_node = kernel.node_for_tier(NodeTier.FAST)
+    assert fast_node.total_pages == 4096
+    assert kernel.hidden_pages(fast_node.node_id) == 2048
+    assert fast_node.free_pages == 2048
+
+
+def test_per_domain_services():
+    hypervisor = make_hypervisor()
+    domain, kernel = boot_guest(hypervisor)
+    assert hypervisor.channel(domain.domain_id).domain_id == domain.domain_id
+    assert hypervisor.tracker(domain.domain_id) is not None
+    assert hypervisor.kernel(domain.domain_id) is kernel
+    with pytest.raises(SharingError):
+        hypervisor.channel(99)
+    with pytest.raises(SharingError):
+        hypervisor.kernel(99)
+
+
+def test_double_attach_rejected():
+    hypervisor = make_hypervisor()
+    domain, kernel = boot_guest(hypervisor)
+    with pytest.raises(SharingError):
+        hypervisor.attach_kernel(domain, kernel)
+
+
+def test_balloon_request_reveals_pages_into_guest():
+    hypervisor = make_hypervisor()
+    domain, kernel = boot_guest(hypervisor)
+    fast_node = kernel.node_for_tier(NodeTier.FAST)
+    granted = kernel.balloon.request(NodeTier.FAST, 1000)
+    assert granted.get(NodeTier.FAST) == 1000
+    kernel.reveal_pages(fast_node.node_id, 1000)
+    assert fast_node.free_pages == 3048
+    assert domain.pages(NodeTier.FAST) == 3048
+
+
+def test_balloon_respects_tier_maximum():
+    hypervisor = make_hypervisor()
+    domain, kernel = boot_guest(hypervisor, fast=(2048, 2048))
+    granted = kernel.balloon.request(NodeTier.FAST, 1000)
+    assert granted == {}  # headroom is zero: max == min
+
+
+def test_balloon_inflate_returns_pages_to_machine():
+    hypervisor = make_hypervisor()
+    domain, kernel = boot_guest(hypervisor)
+    free_before = hypervisor.machine.free_pages(NodeTier.FAST)
+    kernel.balloon.request(NodeTier.FAST, 500)
+    returned = kernel.balloon.inflate(NodeTier.FAST, 300)
+    assert returned == 300
+    assert hypervisor.machine.free_pages(NodeTier.FAST) == free_before - 200
+    # Inflation never digs below the boot minimum.
+    assert kernel.balloon.inflate(NodeTier.FAST, 10_000) == 200
+
+
+def test_balloon_fallback_to_other_tier():
+    hypervisor = make_hypervisor(fast_mib=16)
+    # Reserve the whole FastMem pool at boot; requests must fall back.
+    fast_total = hypervisor.machine.total_pages(NodeTier.FAST)
+    domain, kernel = boot_guest(
+        hypervisor, fast=(fast_total, fast_total * 2)
+    )
+    granted = kernel.balloon.request(
+        NodeTier.FAST, 512, allow_fallback=True
+    )
+    assert granted.get(NodeTier.FAST, 0) == 0
+    assert granted.get(NodeTier.SLOW, 0) > 0
+
+
+def test_allocation_balloons_transparently():
+    """A region larger than the revealed reservation triggers the
+    on-demand driver (Figure 5 steps 1-3)."""
+    hypervisor = make_hypervisor()
+    domain, kernel = boot_guest(hypervisor)
+    extents = kernel.allocate_region("big", PageType.HEAP, 3000, [0, 1])
+    assert sum(e.pages for e in extents) == 3000
+    assert domain.pages(NodeTier.FAST) > 2048  # ballooned beyond the min
+
+
+def test_two_domains_contend_for_machine_pool():
+    hypervisor = make_hypervisor(fast_mib=16)
+    fast_total = hypervisor.machine.total_pages(NodeTier.FAST)
+    half = fast_total // 2
+    boot_guest(hypervisor, name="a", fast=(half, fast_total))
+    boot_guest(hypervisor, name="b", fast=(half, fast_total))
+    assert hypervisor.machine.free_pages(NodeTier.FAST) == 0
+    with pytest.raises(Exception):
+        hypervisor.create_domain(
+            "c", {NodeTier.FAST: TierReservation(1, 1)}
+        )
+
+
+def test_frontend_validates_backend_grants():
+    class EvilBackend:
+        def request_pages(self, domain_id, tier, pages, allow_fallback):
+            return {tier: -5}
+
+        def return_pages(self, domain_id, tier, pages):
+            pass
+
+    frontend = BalloonFrontend(
+        1, EvilBackend(), {NodeTier.FAST: TierReservation(0, 100)}
+    )
+    with pytest.raises(ConfigurationError):
+        frontend.request(NodeTier.FAST, 10)

@@ -1,0 +1,116 @@
+"""Whole-kernel invariant checking, including after full simulations."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from conftest import make_kernel
+from repro.core import make_policy
+from repro.errors import OutOfMemoryError
+from repro.mem.extent import PageType
+from repro.sim.engine import SimulationEngine
+from repro.sim.runner import build_config
+from repro.workloads.registry import make_workload
+
+
+def test_fresh_kernel_is_consistent(kernel):
+    kernel.check_invariants()
+
+
+def test_consistent_after_alloc_free_cycles(kernel):
+    kernel.begin_epoch(0)
+    for i in range(8):
+        kernel.allocate_region(f"r{i}", PageType.HEAP, 200 + i, [0, 1])
+    kernel.check_invariants()
+    for i in range(0, 8, 2):
+        kernel.free_region(f"r{i}")
+    kernel.check_invariants()
+
+
+def test_consistent_after_moves_and_splits(kernel):
+    kernel.begin_epoch(0)
+    (extent,) = kernel.allocate_region("r", PageType.HEAP, 500, [0])
+    kernel.split_extent(extent, 123)
+    kernel.move_extent(extent, 1)
+    kernel.check_invariants()
+
+
+def test_consistent_after_shrink_and_swap(kernel):
+    slow = kernel.nodes[1]
+    usable = slow.free_pages_for(PageType.HEAP)
+    kernel.begin_epoch(0)
+    kernel.allocate_region("cold", PageType.HEAP, usable, [1])
+    kernel.shrink_node(1, slow.free_pages + 2000)
+    kernel.check_invariants()
+    kernel.touch_region("cold", 100.0)
+    kernel.check_invariants()
+
+
+def test_consistent_after_hide_reveal(kernel):
+    kernel.hide_pages(0, 500)
+    kernel.check_invariants()
+    kernel.reveal_pages(0, 200)
+    kernel.check_invariants()
+
+
+@pytest.mark.parametrize(
+    "policy", ["heap-od", "hetero-lru", "hetero-coordinated", "vmm-exclusive"]
+)
+def test_consistent_after_full_simulation(policy):
+    engine = SimulationEngine(
+        build_config(fast_ratio=0.25),
+        make_workload("leveldb"),
+        make_policy(policy),
+    )
+    engine.run(20)
+    engine.kernel.check_invariants()
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    program=st.lists(
+        st.tuples(
+            st.sampled_from(["alloc", "free", "touch", "move", "split"]),
+            st.integers(min_value=0, max_value=5),
+            st.integers(min_value=1, max_value=600),
+        ),
+        max_size=30,
+    ),
+)
+def test_invariants_hold_under_random_programs(program):
+    kernel = make_kernel(fast_mib=8, slow_mib=32)
+    kernel.begin_epoch(0)
+    live: dict[int, str] = {}
+    counter = 0
+    for op, key, pages in program:
+        region_id = live.get(key)
+        try:
+            if op == "alloc" and region_id is None:
+                counter += 1
+                name = f"r{key}-{counter}"
+                kernel.allocate_region(name, PageType.HEAP, pages, [0, 1])
+                live[key] = name
+            elif region_id is None:
+                continue
+            elif op == "free":
+                kernel.free_region(region_id)
+                del live[key]
+            elif op == "touch":
+                kernel.touch_region(region_id, float(pages))
+            elif op == "move":
+                for extent in kernel.region_extents(region_id):
+                    target = 1 if extent.node_id == 0 else 0
+                    try:
+                        kernel.move_extent(extent, target)
+                    except OutOfMemoryError:
+                        pass
+                    break
+            elif op == "split":
+                extents = kernel.region_extents(region_id)
+                if extents and extents[0].pages > 1:
+                    kernel.split_extent(
+                        extents[0], max(1, extents[0].pages // 2)
+                    )
+        except OutOfMemoryError:
+            pass
+    kernel.check_invariants()

@@ -1,0 +1,142 @@
+"""Machine memory pools and VMM domain state."""
+
+import pytest
+
+from repro.errors import ConfigurationError, OutOfMemoryError, SharingError
+from repro.guestos.balloon import TierReservation
+from repro.guestos.numa import NodeTier
+from repro.hw.memdevice import DRAM, NVM_PCM
+from repro.units import MIB, pages_of_bytes
+from repro.vmm.domain import DEFAULT_WEIGHTS, Domain
+from repro.vmm.machine import MachineMemory
+
+
+def make_machine(fast_mib=64, slow_mib=256) -> MachineMemory:
+    return MachineMemory(
+        {
+            NodeTier.FAST: DRAM.with_capacity(fast_mib * MIB),
+            NodeTier.SLOW: NVM_PCM.with_capacity(slow_mib * MIB),
+        }
+    )
+
+
+def make_domain(fast_min=100, slow_min=400) -> Domain:
+    return Domain(
+        domain_id=1,
+        name="vm",
+        reservations={
+            NodeTier.FAST: TierReservation(fast_min, fast_min * 2),
+            NodeTier.SLOW: TierReservation(slow_min, slow_min * 2),
+        },
+    )
+
+
+# ----------------------------------------------------------------------
+# MachineMemory
+# ----------------------------------------------------------------------
+
+def test_machine_pool_sizes():
+    machine = make_machine()
+    assert machine.total_pages(NodeTier.FAST) == pages_of_bytes(64 * MIB)
+    assert machine.free_pages(NodeTier.SLOW) == pages_of_bytes(256 * MIB)
+
+
+def test_machine_pools_are_disjoint_frame_spans():
+    machine = make_machine()
+    fast = machine.allocate(NodeTier.FAST, 10)
+    slow = machine.allocate(NodeTier.SLOW, 10)
+    fast_frames = {f for r in fast for f in range(r.start, r.end)}
+    slow_frames = {f for r in slow for f in range(r.start, r.end)}
+    assert not fast_frames & slow_frames
+
+
+def test_machine_allocate_free_roundtrip():
+    machine = make_machine()
+    ranges = machine.allocate(NodeTier.FAST, 1000)
+    machine.free(NodeTier.FAST, ranges)
+    assert machine.free_pages(NodeTier.FAST) == machine.total_pages(NodeTier.FAST)
+
+
+def test_machine_exact_or_raise():
+    machine = make_machine(fast_mib=1)
+    with pytest.raises(OutOfMemoryError):
+        machine.allocate_exact_or_raise(NodeTier.FAST, 10_000_000)
+
+
+def test_machine_unknown_tier_rejected():
+    machine = make_machine()
+    with pytest.raises(ConfigurationError):
+        machine.allocate(NodeTier.MEDIUM, 1)
+    with pytest.raises(ConfigurationError):
+        MachineMemory({})
+
+
+# ----------------------------------------------------------------------
+# Domain
+# ----------------------------------------------------------------------
+
+def test_domain_grant_and_surrender():
+    machine = make_machine()
+    domain = make_domain()
+    ranges = machine.allocate(NodeTier.FAST, 100)
+    domain.record_grant(NodeTier.FAST, ranges)
+    assert domain.pages(NodeTier.FAST) == 100
+    surrendered = domain.surrender(NodeTier.FAST, 40)
+    assert sum(r.count for r in surrendered) == 40
+    assert domain.pages(NodeTier.FAST) == 60
+
+
+def test_domain_surrender_more_than_granted_rejected():
+    domain = make_domain()
+    with pytest.raises(SharingError):
+        domain.surrender(NodeTier.FAST, 1)
+
+
+def test_domain_overcommit_pages():
+    machine = make_machine()
+    domain = make_domain(fast_min=100)
+    domain.record_grant(NodeTier.FAST, machine.allocate(NodeTier.FAST, 100))
+    assert domain.overcommit_pages(NodeTier.FAST) == 0
+    domain.record_grant(NodeTier.FAST, machine.allocate(NodeTier.FAST, 30))
+    assert domain.overcommit_pages(NodeTier.FAST) == 30
+
+
+def test_domain_dominant_share_weighted():
+    """FastMem weight 2 makes a FastMem-heavy VM FastMem-dominant."""
+    machine = make_machine(fast_mib=64, slow_mib=64)
+    capacities = {
+        NodeTier.FAST: machine.total_pages(NodeTier.FAST),
+        NodeTier.SLOW: machine.total_pages(NodeTier.SLOW),
+    }
+    domain = make_domain()
+    quarter = capacities[NodeTier.FAST] // 4
+    domain.record_grant(
+        NodeTier.FAST, machine.allocate(NodeTier.FAST, quarter)
+    )
+    domain.record_grant(
+        NodeTier.SLOW, machine.allocate(NodeTier.SLOW, quarter)
+    )
+    share, tier = domain.dominant_share(capacities)
+    assert tier is NodeTier.FAST  # same pages, but weight 2 dominates
+    assert share == pytest.approx(2.0 * quarter / capacities[NodeTier.FAST])
+
+
+def test_default_weights_fastmem_double():
+    assert DEFAULT_WEIGHTS[NodeTier.FAST] == 2.0
+    assert DEFAULT_WEIGHTS[NodeTier.SLOW] == 1.0
+
+
+def test_reservation_validation():
+    with pytest.raises(ConfigurationError):
+        TierReservation(10, 5)
+    with pytest.raises(ConfigurationError):
+        TierReservation(-1, 5)
+    with pytest.raises(ConfigurationError):
+        Domain(domain_id=1, name="empty", reservations={})
+
+
+def test_domain_reservation_lookup():
+    domain = make_domain()
+    assert domain.reservation(NodeTier.FAST).min_pages == 100
+    with pytest.raises(SharingError):
+        domain.reservation(NodeTier.MEDIUM)

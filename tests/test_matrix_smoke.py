@@ -1,0 +1,61 @@
+"""Matrix smoke: every policy runs every application without error.
+
+Short runs on a scaled platform; correctness of outcomes is asserted
+elsewhere — this guards against combinations that crash, leak, or
+corrupt kernel state.
+"""
+
+import pytest
+
+from repro.config import SimConfig
+from repro.core import available_policies, make_policy
+from repro.sim.engine import SimulationEngine
+from repro.units import MIB
+from repro.workloads.registry import ALL_APPS, make_workload
+
+
+def small_config() -> SimConfig:
+    return SimConfig(
+        fast_capacity_bytes=512 * MIB,
+        slow_capacity_bytes=8 * 1024 * MIB,
+    )
+
+
+@pytest.mark.parametrize("policy_name", sorted(available_policies()))
+@pytest.mark.parametrize("app", sorted(ALL_APPS))
+def test_policy_app_combination(policy_name, app):
+    engine = SimulationEngine(
+        small_config(), make_workload(app), make_policy(policy_name)
+    )
+    result = engine.run(6)
+    assert result.stats.epochs == 6
+    assert result.stats.runtime_ns > 0
+    engine.kernel.check_invariants()
+
+
+def test_numa_balancing_trails_preferred():
+    """The paper's specific claim about automatic NUMA balancing."""
+    from repro import gain_percent, run_experiment
+
+    slow = run_experiment("graphchi", "slowmem-only", fast_ratio=0.25,
+                          epochs=40)
+    balancing = run_experiment("graphchi", "numa-balancing",
+                               fast_ratio=0.25, epochs=40)
+    preferred = run_experiment("graphchi", "numa-preferred",
+                               fast_ratio=0.25, epochs=40)
+    assert gain_percent(balancing, slow) < gain_percent(preferred, slow)
+    # Some cores are bound to SlowMem: gains exist but are capped.
+    assert 0 < gain_percent(balancing, slow)
+
+
+def test_numa_balancing_alternates_local_nodes():
+    from conftest import make_kernel
+    from repro.core.baselines import NumaBalancingPolicy
+    from repro.core.policy import PolicyBinding
+    from repro.mem.extent import PageType
+
+    policy = NumaBalancingPolicy()
+    policy.bind(PolicyBinding(kernel=make_kernel()))
+    firsts = {policy.node_preference(PageType.HEAP)[0] for _ in range(6)}
+    assert firsts == {0, 1}  # allocations land node-local per CPU
+    assert policy.on_epoch_end(0) > 0  # hinting faults cost something

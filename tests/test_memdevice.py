@@ -1,0 +1,93 @@
+"""Memory device models and Table 1 presets."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hw.memdevice import (
+    DRAM,
+    MemoryDevice,
+    MemoryKind,
+    NVM_PCM,
+    STACKED_3D,
+    TABLE1_DEVICES,
+)
+from repro.units import GIB
+
+
+def test_table1_has_three_technologies():
+    assert len(TABLE1_DEVICES) == 3
+    kinds = {device.kind for device in TABLE1_DEVICES}
+    assert kinds == {
+        MemoryKind.STACKED_3D, MemoryKind.DRAM, MemoryKind.NVM_PCM,
+    }
+
+
+def test_dram_matches_table3_baseline():
+    assert DRAM.load_latency_ns == 60.0
+    assert DRAM.bandwidth_gbps == 24.0
+
+
+def test_nvm_asymmetric_latency():
+    # PCM stores are several times slower than loads (Table 1).
+    assert NVM_PCM.store_latency_ns >= 2 * NVM_PCM.load_latency_ns
+
+
+def test_nvm_has_finite_endurance_dram_does_not():
+    assert NVM_PCM.endurance_cycles is not None
+    assert DRAM.endurance_cycles is None
+    assert STACKED_3D.endurance_cycles is None
+
+
+def test_bytes_per_ns_equals_gbps():
+    assert DRAM.bytes_per_ns == DRAM.bandwidth_gbps
+
+
+def test_with_capacity_preserves_everything_else():
+    resized = NVM_PCM.with_capacity(3 * GIB)
+    assert resized.capacity_bytes == 3 * GIB
+    assert resized.load_latency_ns == NVM_PCM.load_latency_ns
+    assert resized.name == NVM_PCM.name
+    assert NVM_PCM.capacity_bytes != 3 * GIB  # original untouched
+
+
+def test_with_name():
+    named = DRAM.with_name("fastmem")
+    assert named.name == "fastmem"
+    assert named.load_latency_ns == DRAM.load_latency_ns
+
+
+def test_is_faster_than_by_latency_then_bandwidth():
+    assert STACKED_3D.is_faster_than(DRAM)
+    assert DRAM.is_faster_than(NVM_PCM)
+    same_latency = DRAM.with_name("dram2")
+    assert not DRAM.is_faster_than(same_latency)
+
+
+@pytest.mark.parametrize(
+    "field,value",
+    [
+        ("load_latency_ns", 0.0),
+        ("store_latency_ns", -1.0),
+        ("bandwidth_gbps", 0.0),
+        ("capacity_bytes", -1),
+    ],
+)
+def test_invalid_device_parameters_rejected(field, value):
+    kwargs = dict(
+        name="bad",
+        kind=MemoryKind.DRAM,
+        load_latency_ns=60.0,
+        store_latency_ns=60.0,
+        bandwidth_gbps=24.0,
+        capacity_bytes=GIB,
+    )
+    kwargs[field] = value
+    with pytest.raises(ConfigurationError):
+        MemoryDevice(**kwargs)
+
+
+def test_devices_are_hashable_and_frozen():
+    # The engine keys per-device demand dicts by device.
+    assert len({DRAM, STACKED_3D, NVM_PCM}) == 3
+    with pytest.raises(Exception):
+        DRAM.load_latency_ns = 10  # type: ignore[misc]

@@ -1,0 +1,112 @@
+"""I/O page cache bookkeeping."""
+
+import pytest
+
+from repro.errors import AllocationError
+from repro.guestos.pagecache import PageCache
+from repro.mem.extent import ExtentState, PageExtent, PageType
+
+
+def io_extent(pages=8, page_type=PageType.PAGE_CACHE) -> PageExtent:
+    return PageExtent("io-region", page_type, pages, node_id=0)
+
+
+def test_insert_and_residency():
+    cache = PageCache()
+    extent = io_extent()
+    cache.insert(extent)
+    assert cache.is_resident(extent)
+    assert cache.resident_pages == 8
+    assert not cache.is_dirty(extent)
+
+
+def test_only_io_pages_accepted():
+    cache = PageCache()
+    with pytest.raises(AllocationError):
+        cache.insert(PageExtent("r", PageType.HEAP, 4, 0))
+
+
+def test_duplicate_insert_rejected():
+    cache = PageCache()
+    extent = io_extent()
+    cache.insert(extent)
+    with pytest.raises(AllocationError):
+        cache.insert(extent)
+
+
+def test_dirty_insert_and_writeback():
+    cache = PageCache()
+    extent = io_extent()
+    cache.insert(extent, dirty=True)
+    assert cache.is_dirty(extent)
+    assert cache.dirty_pages == 8
+    assert cache.writeback(extent) == 8
+    assert not cache.is_dirty(extent)
+    assert cache.writeback(extent) == 0  # idempotent
+
+
+def test_complete_io_marks_inactive_and_fires_hooks():
+    cache = PageCache()
+    seen = []
+    cache.add_io_complete_hook(seen.append)
+    extent = io_extent()
+    cache.insert(extent)
+    cache.complete_io(extent)
+    assert extent.state is ExtentState.INACTIVE
+    assert seen == [extent]
+
+
+def test_complete_io_requires_residency():
+    cache = PageCache()
+    with pytest.raises(AllocationError):
+        cache.complete_io(io_extent())
+
+
+def test_drop_requires_clean_pages():
+    """The Section 4.1 page-state validity check: dirty I/O pages must be
+    written back before release."""
+    cache = PageCache()
+    extent = io_extent()
+    cache.insert(extent, dirty=True)
+    with pytest.raises(AllocationError):
+        cache.drop(extent)
+    cache.writeback(extent)
+    cache.drop(extent)
+    assert not cache.is_resident(extent)
+
+
+def test_drop_unknown_rejected():
+    cache = PageCache()
+    with pytest.raises(AllocationError):
+        cache.drop(io_extent())
+
+
+def test_mark_dirty_after_insert():
+    cache = PageCache()
+    extent = io_extent(page_type=PageType.BUFFER_CACHE)
+    cache.insert(extent)
+    cache.mark_dirty(extent)
+    assert cache.is_dirty(extent)
+    with pytest.raises(AllocationError):
+        cache.mark_dirty(io_extent())
+
+
+def test_writeback_all():
+    cache = PageCache()
+    extents = [io_extent() for _ in range(3)]
+    for extent in extents:
+        cache.insert(extent, dirty=True)
+    assert cache.writeback_all() == 24
+    assert cache.dirty_pages == 0
+    assert cache.stats.writeback_pages == 24
+
+
+def test_stats_accumulate():
+    cache = PageCache()
+    extent = io_extent()
+    cache.insert(extent)
+    cache.complete_io(extent)
+    cache.drop(extent)
+    assert cache.stats.inserted_pages == 8
+    assert cache.stats.completed_pages == 8
+    assert cache.stats.dropped_pages == 8

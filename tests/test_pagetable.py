@@ -1,0 +1,82 @@
+"""Radix page table."""
+
+import pytest
+
+from repro.errors import AllocationError
+from repro.mem.pagetable import FANOUT, PageTable
+
+
+def test_map_walk_unmap_roundtrip():
+    table = PageTable()
+    table.map_range(100, 10, extent_id=7)
+    assert table.mapped_pages == 10
+    entry = table.walk(105)
+    assert entry is not None and entry.extent_id == 7
+    table.unmap_range(100, 10)
+    assert table.mapped_pages == 0
+    assert table.walk(105) is None
+
+
+def test_double_map_rejected():
+    table = PageTable()
+    table.map_range(0, 4, extent_id=1)
+    with pytest.raises(AllocationError):
+        table.map_range(2, 4, extent_id=2)
+
+
+def test_unmap_of_unmapped_rejected():
+    table = PageTable()
+    with pytest.raises(AllocationError):
+        table.unmap_range(50, 1)
+
+
+def test_touch_sets_access_and_dirty_bits():
+    table = PageTable()
+    table.map_range(10, 2, extent_id=1)
+    table.touch(10)
+    table.touch(11, write=True)
+    assert table.walk(10).accessed and not table.walk(10).dirty
+    assert table.walk(11).accessed and table.walk(11).dirty
+
+
+def test_touch_unmapped_rejected():
+    table = PageTable()
+    with pytest.raises(AllocationError):
+        table.touch(1)
+
+
+def test_scan_and_clear_counts_and_resets():
+    table = PageTable()
+    table.map_range(0, 8, extent_id=1)
+    for vpn in (1, 3, 5):
+        table.touch(vpn)
+    assert table.scan_and_clear(0, 8) == 3
+    # Bits were cleared: nothing accessed now.
+    assert table.scan_and_clear(0, 8) == 0
+
+
+def test_scan_skips_holes():
+    table = PageTable()
+    table.map_range(0, 2, extent_id=1)
+    table.map_range(6, 2, extent_id=2)
+    table.touch(0)
+    table.touch(7)
+    assert table.scan_and_clear(0, 8) == 2
+
+
+def test_cross_level_mapping():
+    # Pages straddling a radix boundary (level fanout) map correctly.
+    table = PageTable()
+    boundary = FANOUT  # first level-3 index rollover
+    table.map_range(boundary - 2, 4, extent_id=9)
+    for vpn in range(boundary - 2, boundary + 2):
+        assert table.walk(vpn).extent_id == 9
+    assert table.interior_nodes > 1
+
+
+def test_invalid_counts_rejected():
+    table = PageTable()
+    with pytest.raises(AllocationError):
+        table.map_range(0, 0, extent_id=1)
+    with pytest.raises(AllocationError):
+        table.unmap_range(0, -1)

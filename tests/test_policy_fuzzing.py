@@ -1,0 +1,102 @@
+"""Policy fuzzing over synthetic workloads.
+
+The strongest end-to-end properties the system promises, checked over
+randomized application signatures:
+
+* no HeteroOS policy ever loses meaningfully to SlowMem-only;
+* the mechanism ladder stays (approximately) monotone;
+* kernel accounting survives every combination.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import make_policy
+from repro.sim.engine import SimulationEngine
+from repro.sim.runner import build_config
+from repro.workloads.synthetic import make_synthetic
+
+EPOCHS = 12
+
+
+def run(workload_seed, io_intensity, skew, policy_name, periodic_cold=True):
+    workload = make_synthetic(
+        seed=workload_seed,
+        footprint_gib=1.5,
+        io_intensity=io_intensity,
+        locality_skew=skew,
+        run_epochs=EPOCHS,
+        periodic_cold=periodic_cold,
+    )
+    policy = make_policy(policy_name)
+    engine = SimulationEngine(
+        build_config(
+            fast_ratio=0.2, slow_gib=4.0,
+            unlimited_fast=policy.requires_unlimited_fast,
+        ),
+        workload,
+        policy,
+    )
+    result = engine.run(EPOCHS)
+    engine.kernel.check_invariants()
+    return result
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10**6),
+    io_intensity=st.floats(min_value=0.0, max_value=0.8),
+    skew=st.floats(min_value=0.0, max_value=1.0),
+)
+def test_heteroos_never_loses_to_slowmem_only(seed, io_intensity, skew):
+    baseline = run(seed, io_intensity, skew, "slowmem-only")
+    placed = run(seed, io_intensity, skew, "hetero-lru")
+    assert placed.stats.runtime_ns <= baseline.stats.runtime_ns * 1.03
+
+
+@settings(max_examples=8, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10**6),
+    io_intensity=st.floats(min_value=0.1, max_value=0.8),
+)
+def test_ladder_roughly_monotone_on_random_apps(seed, io_intensity):
+    # Steady access mixes only: periodic-reaccess patterns are the known
+    # adversary of recency-based reclaim (cold data looks evictable right
+    # before it reheats) and legitimately invert the LRU rung — they get
+    # their own guarantee below.
+    heap_od = run(seed, io_intensity, 0.7, "heap-od", periodic_cold=False)
+    io_od = run(
+        seed, io_intensity, 0.7, "heap-io-slab-od", periodic_cold=False
+    )
+    lru = run(seed, io_intensity, 0.7, "hetero-lru", periodic_cold=False)
+    assert io_od.stats.runtime_ns <= heap_od.stats.runtime_ns * 1.05
+    # Reclaim trades copy cost now for placement later; on individual
+    # adversarial signatures that trade can lose to pure placement
+    # (it wins on average — asserted separately below), but it must
+    # always keep the placement-level guarantee vs the naive floor.
+    assert lru.stats.runtime_ns <= heap_od.stats.runtime_ns * 1.35
+
+
+def test_lru_wins_on_average_over_random_apps():
+    """Across a fixed panel of random signatures, HeteroOS-LRU beats
+    pure placement in aggregate."""
+    seeds = range(10)
+    io_total = sum(
+        run(seed, 0.3, 0.7, "heap-io-slab-od").stats.runtime_ns
+        for seed in seeds
+    )
+    lru_total = sum(
+        run(seed, 0.3, 0.7, "hetero-lru").stats.runtime_ns
+        for seed in seeds
+    )
+    assert lru_total < io_total
+
+
+@settings(max_examples=6, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10**6))
+def test_fastmem_only_is_the_floor_runtime(seed):
+    ceiling = run(seed, 0.3, 0.7, "fastmem-only")
+    for policy in ("random", "hetero-lru"):
+        other = run(seed, 0.3, 0.7, policy)
+        assert other.stats.runtime_ns >= ceiling.stats.runtime_ns * 0.97

@@ -1,0 +1,70 @@
+"""VMM reverse map."""
+
+import pytest
+
+from repro.errors import MigrationError
+from repro.mem.frames import FrameRange
+from repro.mem.rmap import ReverseMap, RmapOwner
+
+
+def test_register_and_lookup():
+    rmap = ReverseMap()
+    owner = RmapOwner(domain_id=1, extent_id=42)
+    rmap.register(FrameRange(100, 50), owner)
+    assert rmap.lookup(100) == owner
+    assert rmap.lookup(149) == owner
+    assert rmap.lookup(150) is None
+    assert rmap.lookup(99) is None
+    assert len(rmap) == 1
+
+
+def test_multiple_disjoint_ranges():
+    rmap = ReverseMap()
+    a = RmapOwner(1, 1)
+    b = RmapOwner(1, 2)
+    rmap.register(FrameRange(0, 10), a)
+    rmap.register(FrameRange(100, 10), b)
+    assert rmap.lookup(5) == a
+    assert rmap.lookup(105) == b
+    assert rmap.lookup(50) is None
+
+
+def test_overlap_rejected():
+    rmap = ReverseMap()
+    rmap.register(FrameRange(0, 10), RmapOwner(1, 1))
+    with pytest.raises(MigrationError):
+        rmap.register(FrameRange(5, 10), RmapOwner(1, 2))
+
+
+def test_duplicate_start_rejected():
+    rmap = ReverseMap()
+    rmap.register(FrameRange(50, 5), RmapOwner(1, 1))
+    with pytest.raises(MigrationError):
+        rmap.register(FrameRange(50, 3), RmapOwner(1, 2))
+
+
+def test_unregister():
+    rmap = ReverseMap()
+    frames = FrameRange(10, 10)
+    rmap.register(frames, RmapOwner(1, 1))
+    rmap.unregister(frames)
+    assert rmap.lookup(15) is None
+    assert len(rmap) == 0
+
+
+def test_unregister_unknown_rejected():
+    rmap = ReverseMap()
+    with pytest.raises(MigrationError):
+        rmap.unregister(FrameRange(10, 10))
+    rmap.register(FrameRange(10, 10), RmapOwner(1, 1))
+    with pytest.raises(MigrationError):
+        rmap.unregister(FrameRange(10, 5))  # wrong extent shape
+
+
+def test_out_of_order_registration():
+    rmap = ReverseMap()
+    rmap.register(FrameRange(100, 10), RmapOwner(1, 2))
+    rmap.register(FrameRange(0, 10), RmapOwner(1, 1))
+    rmap.register(FrameRange(50, 10), RmapOwner(1, 3))
+    assert rmap.lookup(55).extent_id == 3
+    assert rmap.lookup(5).extent_id == 1

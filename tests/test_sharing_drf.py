@@ -1,0 +1,173 @@
+"""Multi-VM sharing: max-min baseline and weighted DRF."""
+
+import pytest
+
+from repro.guestos.balloon import TierReservation
+from repro.guestos.numa import NodeTier
+from repro.hw.memdevice import DRAM, NVM_PCM
+from repro.units import MIB
+from repro.vmm.domain import Domain
+from repro.vmm.drf import WeightedDrf
+from repro.vmm.machine import MachineMemory
+from repro.vmm.sharing import MaxMinSharing
+
+
+def make_machine(fast_pages=1000, slow_pages=4000) -> MachineMemory:
+    machine = MachineMemory(
+        {
+            NodeTier.FAST: DRAM.with_capacity(fast_pages * 4096),
+            NodeTier.SLOW: NVM_PCM.with_capacity(slow_pages * 4096),
+        }
+    )
+    return machine
+
+
+def make_domain(domain_id, fast=(250, 500), slow=(1000, 2000)) -> Domain:
+    return Domain(
+        domain_id=domain_id,
+        name=f"vm{domain_id}",
+        reservations={
+            NodeTier.FAST: TierReservation(*fast),
+            NodeTier.SLOW: TierReservation(*slow),
+        },
+    )
+
+
+def boot(machine, domain):
+    """Grant the boot minimums."""
+    for tier in (NodeTier.FAST, NodeTier.SLOW):
+        pages = domain.reservations[tier].min_pages
+        domain.record_grant(tier, machine.allocate(tier, pages))
+
+
+# ----------------------------------------------------------------------
+# Max-min
+# ----------------------------------------------------------------------
+
+def test_maxmin_grants_from_pool_when_available():
+    machine = make_machine()
+    a, b = make_domain(1), make_domain(2)
+    boot(machine, a)
+    boot(machine, b)
+    decision = MaxMinSharing().arbitrate(a, NodeTier.SLOW, 500, machine, [a, b])
+    assert decision.granted_from_pool == 500
+    assert not decision.reclaims
+
+
+def test_maxmin_protects_only_the_fast_tier():
+    machine = make_machine()
+    a, b = make_domain(1), make_domain(2)
+    boot(machine, a)
+    boot(machine, b)
+    policy = MaxMinSharing(protected_tier=NodeTier.FAST)
+    # FastMem requests are capped at the fair share (500 of 1000).
+    decision = policy.arbitrate(a, NodeTier.FAST, 600, machine, [a, b])
+    assert decision.total_pages <= 500 - a.pages(NodeTier.FAST) + 250
+    # SlowMem requests scavenge the neighbour once the pool is dry.
+    machine.allocate(NodeTier.SLOW, machine.free_pages(NodeTier.SLOW))
+    decision = policy.arbitrate(a, NodeTier.SLOW, 800, machine, [a, b])
+    assert decision.granted_from_pool == 0
+    assert decision.reclaims
+    assert decision.reclaims[0].victim is b
+
+
+def test_maxmin_fast_request_within_fair_share_granted():
+    machine = make_machine()
+    a, b = make_domain(1), make_domain(2)
+    boot(machine, a)
+    boot(machine, b)
+    decision = MaxMinSharing().arbitrate(a, NodeTier.FAST, 100, machine, [a, b])
+    assert decision.granted_from_pool == 100
+
+
+# ----------------------------------------------------------------------
+# Weighted DRF (Algorithm 1)
+# ----------------------------------------------------------------------
+
+def test_drf_dominant_shares():
+    machine = make_machine()
+    modest, hungry = make_domain(1), make_domain(2, fast=(750, 750))
+    boot(machine, modest)
+    boot(machine, hungry)
+    shares = WeightedDrf().dominant_shares(machine, [modest, hungry])
+    assert shares[hungry.domain_id] > shares[modest.domain_id]
+
+
+def test_drf_grants_pool_first():
+    machine = make_machine()
+    a, b = make_domain(1), make_domain(2)
+    boot(machine, a)
+    boot(machine, b)
+    decision = WeightedDrf().arbitrate(a, NodeTier.SLOW, 500, machine, [a, b])
+    assert decision.granted_from_pool == 500
+
+
+def test_drf_reclaims_overcommit_from_higher_share_domain():
+    machine = make_machine()
+    modest = make_domain(1)
+    hungry = make_domain(2, fast=(750, 750))
+    boot(machine, modest)
+    boot(machine, hungry)
+    # The hungry domain balloons all remaining SlowMem (overcommit).
+    spare = machine.free_pages(NodeTier.SLOW)
+    hungry.record_grant(NodeTier.SLOW, machine.allocate(NodeTier.SLOW, spare))
+    decision = WeightedDrf().arbitrate(
+        modest, NodeTier.SLOW, 500, machine, [modest, hungry]
+    )
+    assert decision.granted_from_pool == 0
+    assert decision.reclaims
+    assert decision.reclaims[0].victim is hungry
+    assert decision.total_pages == 500
+
+
+def test_drf_never_reclaims_reserved_minimum():
+    machine = make_machine()
+    modest = make_domain(1)
+    hungry = make_domain(2, fast=(750, 750))
+    boot(machine, modest)
+    boot(machine, hungry)
+    machine.allocate(NodeTier.SLOW, machine.free_pages(NodeTier.SLOW))
+    # Hungry has no overcommit: nothing to reclaim, request denied.
+    decision = WeightedDrf().arbitrate(
+        modest, NodeTier.SLOW, 500, machine, [modest, hungry]
+    )
+    assert decision.total_pages == 0
+
+
+def test_drf_denies_highest_share_requester():
+    """A domain with the highest dominant share cannot reclaim from
+    lower-share neighbours (the queue ordering of Algorithm 1)."""
+    machine = make_machine()
+    modest = make_domain(1)
+    hungry = make_domain(2, fast=(750, 750))
+    boot(machine, modest)
+    boot(machine, hungry)
+    spare = machine.free_pages(NodeTier.SLOW)
+    modest.record_grant(NodeTier.SLOW, machine.allocate(NodeTier.SLOW, spare))
+    decision = WeightedDrf().arbitrate(
+        hungry, NodeTier.SLOW, 500, machine, [modest, hungry]
+    )
+    # modest's share is lower than hungry's: no reclaim allowed.
+    assert decision.total_pages == 0
+
+
+def test_drf_strategy_proofness_lying_raises_own_share():
+    """Inflating one's FastMem holdings only raises the liar's dominant
+    share, making it the preferred reclaim victim — no benefit from
+    lying (Section 4.3)."""
+    machine = make_machine()
+    honest = make_domain(1)
+    liar = make_domain(2, fast=(250, 750))
+    boot(machine, honest)
+    boot(machine, liar)
+    drf = WeightedDrf()
+    before = drf.dominant_shares(machine, [honest, liar])[liar.domain_id]
+    # The liar balloons extra FastMem it does not need.
+    liar.record_grant(NodeTier.FAST, machine.allocate(NodeTier.FAST, 400))
+    after = drf.dominant_shares(machine, [honest, liar])[liar.domain_id]
+    assert after > before
+    # And that surplus is exactly what DRF will reclaim for others.
+    machine.allocate(NodeTier.FAST, machine.free_pages(NodeTier.FAST))
+    decision = drf.arbitrate(honest, NodeTier.FAST, 300, machine, [honest, liar])
+    assert sum(r.pages for r in decision.reclaims) == 300
+    assert decision.reclaims[0].victim is liar

@@ -1,0 +1,237 @@
+"""Simulation engine, config, stats, and runner."""
+
+import pytest
+
+from repro.config import SimConfig
+from repro.core import make_policy
+from repro.errors import ConfigurationError
+from repro.hw.throttle import ThrottleConfig
+from repro.mem.extent import PageType
+from repro.sim.engine import SimulationEngine, build_single_vm
+from repro.sim.runner import build_config, run_experiment
+from repro.sim.stats import RunResult, RunStats, gain_percent, slowdown_factor
+from repro.units import GIB, MIB
+from repro.workloads.base import RegionSpec, StatisticalWorkload
+
+
+def tiny_workload(**overrides) -> StatisticalWorkload:
+    kwargs = dict(
+        name="tiny",
+        mlp=4.0,
+        instructions_per_epoch=1e6,
+        accesses_per_epoch=10_000.0,
+        io_wait_ns=1000.0,
+        resident=[
+            RegionSpec("hot", PageType.HEAP, 2048, reuse=0.7, access_share=1.0),
+        ],
+    )
+    kwargs.update(overrides)
+    return StatisticalWorkload(**kwargs)
+
+
+def tiny_config(**overrides) -> SimConfig:
+    kwargs = dict(
+        fast_capacity_bytes=16 * MIB,
+        slow_capacity_bytes=64 * MIB,
+    )
+    kwargs.update(overrides)
+    return SimConfig(**kwargs)
+
+
+# ----------------------------------------------------------------------
+# SimConfig
+# ----------------------------------------------------------------------
+
+def test_config_validation():
+    with pytest.raises(ConfigurationError):
+        SimConfig(slow_capacity_bytes=0)
+    with pytest.raises(ConfigurationError):
+        SimConfig(fast_capacity_bytes=-1)
+    with pytest.raises(ConfigurationError):
+        SimConfig(epoch_ms=0)
+
+
+def test_config_derives_slow_device_from_throttle():
+    config = tiny_config(slow_throttle=ThrottleConfig(5, 12))
+    device = config.resolved_slow_device()
+    assert device.load_latency_ns == 960.0
+    assert device.capacity_bytes == 64 * MIB
+
+
+def test_config_explicit_slow_device_wins():
+    from repro.hw.memdevice import NVM_PCM
+
+    config = tiny_config(slow_device=NVM_PCM)
+    assert config.resolved_slow_device().load_latency_ns == 150.0
+
+
+# ----------------------------------------------------------------------
+# build_single_vm
+# ----------------------------------------------------------------------
+
+def test_single_vm_has_two_tiers():
+    hypervisor, domain, kernel = build_single_vm(tiny_config())
+    assert len(kernel.nodes) == 2
+    assert kernel.fast_node_ids and kernel.slow_node_ids
+    assert hypervisor.kernel(domain.domain_id) is kernel
+
+
+def test_single_vm_without_fast_tier():
+    hypervisor, domain, kernel = build_single_vm(
+        tiny_config(fast_capacity_bytes=0)
+    )
+    assert kernel.fast_node_ids == []
+
+
+# ----------------------------------------------------------------------
+# Engine runs
+# ----------------------------------------------------------------------
+
+def test_engine_run_accumulates_time_and_stats():
+    engine = SimulationEngine(
+        tiny_config(), tiny_workload(), make_policy("heap-od")
+    )
+    result = engine.run(10)
+    assert result.stats.epochs == 10
+    assert result.stats.runtime_ns > 0
+    assert result.stats.cpu_ns > 0
+    assert result.stats.io_wait_ns == pytest.approx(10 * 1000.0)
+    assert result.stats.instructions == pytest.approx(1e7)
+    assert result.stats.llc_misses > 0
+    assert result.workload_name == "tiny"
+    assert result.policy_name == "heap-od"
+
+
+def test_engine_is_deterministic():
+    results = [
+        SimulationEngine(
+            tiny_config(), tiny_workload(), make_policy("random")
+        ).run(10).stats.runtime_ns
+        for _ in range(2)
+    ]
+    assert results[0] == results[1]
+
+
+def test_engine_seed_changes_random_policy():
+    def fast_pages(seed):
+        engine = SimulationEngine(
+            tiny_config(seed=seed),
+            tiny_workload(
+                resident=[
+                    RegionSpec(f"r{i}", PageType.HEAP, 128, 0.7, 1.0)
+                    for i in range(24)
+                ]
+            ),
+            make_policy("random"),
+        )
+        engine.run(3)
+        return engine.kernel.cumulative_stats[
+            PageType.HEAP
+        ].fast_granted_pages
+
+    placements = {fast_pages(seed) for seed in (1, 7, 23, 99, 1234)}
+    assert len(placements) > 1  # different seeds place differently
+
+
+def test_engine_records_llc_misses_on_channel():
+    engine = SimulationEngine(
+        tiny_config(), tiny_workload(), make_policy("heap-od")
+    )
+    engine.run(5)
+    channel = engine.hypervisor.channel(engine.domain.domain_id)
+    assert len(channel.counters.llc_miss_history) == 5
+
+
+def test_engine_charges_policy_overhead():
+    config = tiny_config(fast_capacity_bytes=4 * MIB)
+    workload = tiny_workload(
+        resident=[
+            RegionSpec("hot", PageType.HEAP, 8192, reuse=0.7, access_share=1.0),
+        ],
+    )
+    engine = SimulationEngine(config, workload, make_policy("vmm-exclusive"))
+    result = engine.run(10)
+    assert result.stats.policy_overhead_ns > 0
+
+
+def test_engine_survives_genuine_overcommit():
+    """A workload larger than the whole guest swaps rather than crashing."""
+    config = tiny_config(fast_capacity_bytes=4 * MIB, slow_capacity_bytes=16 * MIB)
+    workload = tiny_workload(
+        resident=[
+            RegionSpec("huge", PageType.HEAP, 8192, 0.7, 1.0),
+            RegionSpec("huge2", PageType.HEAP, 4096, 0.7, 1.0, alloc_epoch=2),
+        ],
+    )
+    engine = SimulationEngine(config, workload, make_policy("heap-od"))
+    result = engine.run(5)
+    assert result.swap_pages_out > 0 or result.stats.dropped_allocation_pages >= 0
+
+
+# ----------------------------------------------------------------------
+# Stats / metrics
+# ----------------------------------------------------------------------
+
+def test_gain_and_slowdown_helpers():
+    def result_with_runtime(ns):
+        stats = RunStats(runtime_ns=ns, epochs=10)
+        return RunResult("w", "p", "seconds", 0.0, stats)
+
+    fast = result_with_runtime(1e9)
+    slow = result_with_runtime(2e9)
+    assert gain_percent(fast, slow) == pytest.approx(100.0)
+    assert gain_percent(slow, fast) == pytest.approx(-50.0)
+    assert slowdown_factor(slow, fast) == pytest.approx(2.0)
+
+
+def test_metric_value_throughput():
+    stats = RunStats(runtime_ns=2e9, epochs=10)
+    ops = RunResult("w", "p", "ops-per-sec", 1000.0, stats)
+    assert ops.metric_value == pytest.approx(10_000 / 2.0)
+    secs = RunResult("w", "p", "seconds", 0.0, stats)
+    assert secs.metric_value == pytest.approx(2.0)
+
+
+def test_fastmem_miss_ratio_filters_types():
+    from repro.guestos.kernel import AllocStats
+
+    stats = RunStats(runtime_ns=1.0, epochs=1)
+    result = RunResult(
+        "w", "p", "seconds", 0.0, stats,
+        alloc_stats={
+            PageType.HEAP: AllocStats(100, 80),
+            PageType.PAGE_CACHE: AllocStats(100, 0),
+        },
+    )
+    assert result.fastmem_miss_ratio() == pytest.approx(0.6)
+    assert result.fastmem_miss_ratio((PageType.HEAP,)) == pytest.approx(0.2)
+    assert result.fastmem_miss_ratio((PageType.SLAB,)) == 0.0
+
+
+# ----------------------------------------------------------------------
+# Runner
+# ----------------------------------------------------------------------
+
+def test_build_config_ratio_math():
+    config = build_config(fast_ratio=0.25, slow_gib=8.0)
+    assert config.fast_capacity_bytes == 2 * GIB
+    assert config.slow_capacity_bytes == 8 * GIB
+    unlimited = build_config(unlimited_fast=True, slow_gib=8.0)
+    assert unlimited.fast_capacity_bytes == 16 * GIB
+    with pytest.raises(ConfigurationError):
+        build_config(fast_ratio=-0.1)
+
+
+def test_run_experiment_accepts_names_and_instances():
+    by_name = run_experiment("nginx", "slowmem-only", epochs=3)
+    assert by_name.stats.epochs == 3
+    by_instance = run_experiment(
+        tiny_workload(), make_policy("slowmem-only"), epochs=3,
+        config=tiny_config(),
+    )
+    assert by_instance.workload_name == "tiny"
+
+
+def test_run_experiment_unlimited_fast_for_fastmem_only():
+    result = run_experiment("nginx", "fastmem-only", epochs=3)
+    assert result.fastmem_miss_ratio() == 0.0

@@ -1,0 +1,123 @@
+"""Slab allocator."""
+
+import pytest
+
+from repro.errors import AllocationError
+from repro.guestos.slab import SlabAllocator, SlabCache
+from repro.mem.extent import PageType
+from repro.units import PAGE_SIZE
+
+
+class RecordingBackend:
+    """Captures slab page requests/releases."""
+
+    def __init__(self):
+        self.live: dict[object, tuple[str, int, PageType]] = {}
+        self.counter = 0
+
+    def source(self, cache_name, pages, page_type):
+        self.counter += 1
+        token = f"slab-{self.counter}"
+        self.live[token] = (cache_name, pages, page_type)
+        return token
+
+    def release(self, cache_name, token):
+        assert self.live.pop(token)[0] == cache_name
+
+
+@pytest.fixture
+def backend():
+    return RecordingBackend()
+
+
+def make_cache(backend, object_size=1024, pages_per_slab=2) -> SlabCache:
+    return SlabCache(
+        "test", object_size, backend.source, backend.release,
+        pages_per_slab=pages_per_slab,
+    )
+
+
+def test_objects_per_slab(backend):
+    cache = make_cache(backend, object_size=1024, pages_per_slab=2)
+    assert cache.objects_per_slab == 2 * PAGE_SIZE // 1024
+
+
+def test_allocation_grows_slab_lazily(backend):
+    cache = make_cache(backend)
+    assert cache.total_pages == 0
+    cache.allocate()
+    assert cache.total_pages == 2
+    assert len(backend.live) == 1
+
+
+def test_slab_reused_until_full(backend):
+    cache = make_cache(backend)
+    for _ in range(cache.objects_per_slab):
+        cache.allocate()
+    assert len(backend.live) == 1  # all from the first slab
+    cache.allocate()
+    assert len(backend.live) == 2  # overflow grew a second slab
+
+
+def test_free_releases_empty_slabs(backend):
+    cache = make_cache(backend)
+    handles = [cache.allocate() for _ in range(cache.objects_per_slab)]
+    for handle in handles:
+        cache.free(handle)
+    assert cache.total_pages == 0
+    assert not backend.live
+    assert cache.stats.slabs_destroyed == 1
+
+
+def test_partial_slab_rejoins_free_pool(backend):
+    cache = make_cache(backend)
+    handles = [cache.allocate() for _ in range(cache.objects_per_slab)]
+    cache.free(handles[0])
+    cache.allocate()  # must reuse the freed slot, not grow
+    assert len(backend.live) == 1
+
+
+def test_double_free_detected(backend):
+    cache = make_cache(backend)
+    a = cache.allocate()
+    b = cache.allocate()
+    cache.free(a)
+    with pytest.raises(AllocationError):
+        cache.free(a)
+    cache.free(b)
+
+
+def test_free_unknown_slab_rejected(backend):
+    cache = make_cache(backend)
+    with pytest.raises(AllocationError):
+        cache.free((99, 0))
+
+
+def test_oversized_object_rejected(backend):
+    with pytest.raises(AllocationError):
+        make_cache(backend, object_size=3 * PAGE_SIZE, pages_per_slab=1)
+
+
+def test_allocator_default_caches(backend):
+    allocator = SlabAllocator(backend.source, backend.release)
+    assert "skbuff" in allocator.caches
+    assert allocator.cache("skbuff").page_type is PageType.NETWORK_BUFFER
+    assert allocator.cache("dentry").page_type is PageType.SLAB
+
+
+def test_allocator_create_and_lookup(backend):
+    allocator = SlabAllocator(backend.source, backend.release)
+    allocator.create_cache("custom", 256)
+    assert allocator.cache("custom").object_size == 256
+    with pytest.raises(AllocationError):
+        allocator.create_cache("custom", 256)
+    with pytest.raises(AllocationError):
+        allocator.cache("nope")
+
+
+def test_live_object_accounting(backend):
+    cache = make_cache(backend)
+    handles = [cache.allocate() for _ in range(3)]
+    assert cache.live_objects == 3
+    cache.free(handles[1])
+    assert cache.live_objects == 2

@@ -1,0 +1,107 @@
+"""Sweep utility, Table 2 driver, per-epoch timeseries recording."""
+
+import pytest
+
+from repro.cli import main
+from repro.core import make_policy
+from repro.experiments.sweep import TABLE2_DESCRIPTIONS, run_table2, sweep
+from repro.hw.throttle import ThrottleConfig
+from repro.sim.engine import SimulationEngine
+from repro.sim.runner import build_config
+from repro.workloads.registry import ALL_APPS, make_workload
+
+
+def test_sweep_grid_shape():
+    rows = sweep(
+        apps=("nginx",),
+        policies=("heap-od", "hetero-lru"),
+        ratios=(0.25, 0.125),
+        throttles=(ThrottleConfig(2, 2), ThrottleConfig(5, 9)),
+        epochs=4,
+    )
+    assert len(rows) == 1 * 2 * 2 * 2
+    for row in rows:
+        assert row["runtime_sec"] > 0
+        assert "gain_pct" in row
+
+
+def test_sweep_baseline_gains_are_zero_for_baseline_policy():
+    rows = sweep(
+        apps=("nginx",), policies=("slowmem-only",), epochs=4
+    )
+    assert rows[0]["gain_pct"] == pytest.approx(0.0)
+
+
+def test_table2_covers_all_apps():
+    assert set(TABLE2_DESCRIPTIONS) == set(ALL_APPS)
+    rows = run_table2(epochs=4)
+    assert len(rows) == len(ALL_APPS)
+    for row in rows:
+        assert row["measured"] > 0
+        assert row["perf_metric"]
+
+
+def test_cli_sweep_command(capsys):
+    code = main(
+        ["sweep", "--apps", "nginx", "--policies", "heap-od",
+         "--ratios", "0.25", "--epochs", "3"]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "gain_pct" in out
+
+
+# ----------------------------------------------------------------------
+# Timeseries
+# ----------------------------------------------------------------------
+
+def test_timeseries_disabled_by_default():
+    engine = SimulationEngine(
+        build_config(fast_ratio=0.25), make_workload("nginx"),
+        make_policy("heap-od"),
+    )
+    engine.run(5)
+    assert engine.timeseries == []
+
+
+def test_timeseries_records_each_epoch():
+    engine = SimulationEngine(
+        build_config(fast_ratio=0.25), make_workload("nginx"),
+        make_policy("heap-od"), record_timeseries=True,
+    )
+    result = engine.run(5)
+    assert len(engine.timeseries) == 5
+    assert [row["epoch"] for row in engine.timeseries] == list(range(5))
+    total = sum(row["runtime_ns"] for row in engine.timeseries)
+    assert total == pytest.approx(result.stats.runtime_ns)
+    for row in engine.timeseries:
+        assert 0.0 <= row["fast_stall_fraction"] <= 1.0
+        assert row["fast_used_pages"] >= 0
+
+
+def test_timeseries_shows_phase_shift():
+    """The share-shift workload feature is visible in the timeseries."""
+    from repro.mem.extent import PageType
+    from repro.workloads.base import RegionSpec, StatisticalWorkload
+
+    workload = StatisticalWorkload(
+        name="shifty",
+        mlp=4.0,
+        instructions_per_epoch=1e6,
+        accesses_per_epoch=200_000.0,
+        resident=[
+            RegionSpec("a", PageType.HEAP, 3000, 0.8, 9.0),
+            RegionSpec("b", PageType.HEAP, 3000, 0.8, 1.0),
+        ],
+        share_shifts=[(5, {"a": 1.0, "b": 9.0})],
+    )
+    config = build_config(fast_ratio=0.02, slow_gib=1.0)
+    engine = SimulationEngine(
+        config, workload, make_policy("heap-od"), record_timeseries=True
+    )
+    engine.run(10)
+    before = engine.timeseries[3]["fast_stall_fraction"]
+    after = engine.timeseries[8]["fast_stall_fraction"]
+    # The fast node held region 'a'; after the shift its stall share
+    # collapses because the accesses moved to 'b' on SlowMem.
+    assert after != before

@@ -1,0 +1,127 @@
+"""Synthetic workload generator and run-analysis helpers."""
+
+import pytest
+
+from repro.cli import main
+from repro.core import make_policy
+from repro.errors import WorkloadError
+from repro.experiments.analysis import (
+    allocation_breakdown,
+    summarize,
+    time_breakdown,
+)
+from repro.mem.extent import PageType
+from repro.sim.engine import SimulationEngine
+from repro.sim.runner import build_config, run_experiment
+from repro.workloads.synthetic import make_synthetic
+
+
+# ----------------------------------------------------------------------
+# Synthetic generator
+# ----------------------------------------------------------------------
+
+def test_same_seed_same_workload():
+    a = make_synthetic(seed=42)
+    b = make_synthetic(seed=42)
+    assert a.mlp == b.mlp
+    assert a.accesses_per_epoch == b.accesses_per_epoch
+    assert [spec.pages for spec in a.resident] == [
+        spec.pages for spec in b.resident
+    ]
+    assert len(a.churn) == len(b.churn)
+
+
+def test_different_seeds_differ():
+    signatures = {
+        (make_synthetic(seed=s).mlp, make_synthetic(seed=s).accesses_per_epoch)
+        for s in range(6)
+    }
+    assert len(signatures) > 1
+
+
+def test_io_intensity_zero_means_no_churn():
+    workload = make_synthetic(seed=1, io_intensity=0.0)
+    assert workload.churn == []
+    assert workload.io_wait_ns == 0.0
+
+
+def test_footprint_close_to_target():
+    workload = make_synthetic(seed=3, footprint_gib=2.0)
+    pages = sum(spec.pages for spec in workload.resident)
+    assert pages == pytest.approx(2.0 * 262144, rel=0.02)
+
+
+def test_locality_skew_concentrates_hot_share():
+    skewed = make_synthetic(seed=5, locality_skew=1.0, io_intensity=0.0)
+    uniform = make_synthetic(seed=5, locality_skew=0.0, io_intensity=0.0)
+
+    def hot_share(workload):
+        spec = next(s for s in workload.resident if s.label == "heap-hot")
+        total = sum(s.access_share for s in workload.resident)
+        return spec.access_share / total
+
+    assert hot_share(skewed) > hot_share(uniform)
+
+
+def test_parameter_validation():
+    with pytest.raises(WorkloadError):
+        make_synthetic(seed=1, io_intensity=1.5)
+    with pytest.raises(WorkloadError):
+        make_synthetic(seed=1, locality_skew=-0.1)
+    with pytest.raises(WorkloadError):
+        make_synthetic(seed=1, footprint_gib=0)
+
+
+@pytest.mark.parametrize("seed", [11, 37])
+def test_synthetic_runs_under_heteroos(seed):
+    workload = make_synthetic(seed=seed, footprint_gib=1.0, run_epochs=8)
+    engine = SimulationEngine(
+        build_config(fast_ratio=0.25, slow_gib=4.0), workload,
+        make_policy("hetero-lru"),
+    )
+    result = engine.run(8)
+    assert result.stats.runtime_ns > 0
+    engine.kernel.check_invariants()
+
+
+# ----------------------------------------------------------------------
+# Analysis helpers
+# ----------------------------------------------------------------------
+
+@pytest.fixture(scope="module")
+def result():
+    return run_experiment("redis", "hetero-lru", fast_ratio=0.25, epochs=10)
+
+
+def test_time_breakdown_fractions_sum_to_one(result):
+    rows = time_breakdown(result)
+    assert sum(row["fraction"] for row in rows) == pytest.approx(1.0)
+    components = {row["component"] for row in rows}
+    assert "cpu" in components and "io-wait" in components
+    assert any(c.startswith("stall:") for c in components)
+
+
+def test_allocation_breakdown_matches_stats(result):
+    rows = allocation_breakdown(result)
+    subsystems = {row["subsystem"] for row in rows}
+    assert PageType.HEAP.value in subsystems
+    assert PageType.NETWORK_BUFFER.value in subsystems
+    for row in rows:
+        assert 0.0 <= row["miss_ratio"] <= 1.0
+        assert row["fastmem_pages"] <= row["requested_pages"]
+
+
+def test_summarize_single_row(result):
+    (row,) = summarize(result)
+    assert row["workload"] == "redis"
+    assert row["runtime_sec"] == pytest.approx(result.runtime_sec)
+
+
+def test_cli_breakdown_flag(capsys):
+    code = main(
+        ["run", "nginx", "hetero-lru", "--epochs", "4", "--breakdown"]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "stall:" in out
+    assert "subsystem" in out

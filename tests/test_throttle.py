@@ -1,0 +1,92 @@
+"""Throttling emulation (Table 3)."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hw.memdevice import DRAM, MemoryKind
+from repro.hw.throttle import (
+    DEFAULT_SLOWMEM,
+    FIGURE1_SWEEP,
+    TABLE3_PRESETS,
+    ThrottleConfig,
+    throttled_device,
+)
+
+
+def test_label_notation():
+    assert ThrottleConfig(5, 9).label == "L:5,B:9"
+    assert ThrottleConfig(2.5, 9).label == "L:2.5,B:9"
+
+
+def test_factors_below_one_rejected():
+    with pytest.raises(ConfigurationError):
+        ThrottleConfig(0.5, 2)
+    with pytest.raises(ConfigurationError):
+        ThrottleConfig(2, 0.9)
+
+
+@pytest.mark.parametrize("key,expected", sorted(TABLE3_PRESETS.items()))
+def test_calibration_points_exact(key, expected):
+    latency_factor, bandwidth_factor = key
+    device = throttled_device(ThrottleConfig(latency_factor, bandwidth_factor))
+    assert device.load_latency_ns == expected[0]
+    assert device.bandwidth_gbps == expected[1]
+
+
+def test_default_slowmem_is_l5_b9():
+    assert DEFAULT_SLOWMEM.latency_factor == 5
+    assert DEFAULT_SLOWMEM.bandwidth_factor == 9
+
+
+def test_interpolated_latency_monotone_in_bandwidth_factor():
+    # At fixed L:5, starving bandwidth queues requests: latency rises.
+    latencies = [
+        throttled_device(ThrottleConfig(5, b)).load_latency_ns
+        for b in (5, 7, 9, 12)
+    ]
+    assert latencies == sorted(latencies)
+    assert latencies[0] == 354.0 and latencies[-1] == 960.0
+
+
+def test_bandwidth_divided_by_factor():
+    device = throttled_device(ThrottleConfig(5, 9))
+    assert device.bandwidth_gbps == pytest.approx(24.0 / 9)
+
+
+def test_figure1_sweep_order():
+    labels = [config.label for config in FIGURE1_SWEEP]
+    assert labels == ["L:2,B:2", "L:5,B:5", "L:5,B:7", "L:5,B:9", "L:5,B:12"]
+
+
+def test_throttled_device_kind_and_name():
+    device = throttled_device(ThrottleConfig(5, 9), name="slowmem")
+    assert device.kind is MemoryKind.GENERIC_SLOW
+    assert device.name == "slowmem"
+    default_name = throttled_device(ThrottleConfig(5, 9))
+    assert "L:5,B:9" in default_name.name
+
+
+def test_store_latency_scales_with_base_ratio():
+    asymmetric = DRAM.with_capacity(DRAM.capacity_bytes)
+    device = throttled_device(ThrottleConfig(2, 2), base=asymmetric)
+    assert device.store_latency_ns == pytest.approx(device.load_latency_ns)
+
+
+def test_capacity_override():
+    device = throttled_device(ThrottleConfig(5, 9), capacity_bytes=123456789)
+    assert device.capacity_bytes == 123456789
+
+
+def test_extrapolation_beyond_measured_range():
+    device = throttled_device(ThrottleConfig(5, 20))
+    # Harsher than B:12 must be slower than the B:12 point.
+    assert device.load_latency_ns > 960.0
+    assert device.bandwidth_gbps < 1.38
+
+
+def test_non_dram_base_uses_factor_scaling():
+    from repro.hw.memdevice import NVM_PCM
+
+    device = throttled_device(ThrottleConfig(2, 2), base=NVM_PCM)
+    assert device.load_latency_ns > NVM_PCM.load_latency_ns
+    assert device.bandwidth_gbps == pytest.approx(NVM_PCM.bandwidth_gbps / 2)

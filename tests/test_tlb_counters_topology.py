@@ -1,0 +1,120 @@
+"""TLB cost meter, perf counters, NUMA topology."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.hw.counters import PerfCounters
+from repro.hw.memdevice import DRAM
+from repro.hw.tlb import Tlb, TlbConfig
+from repro.hw.topology import (
+    NumaTopology,
+    Socket,
+    REMOTE_BANDWIDTH_FACTOR,
+    REMOTE_LATENCY_FACTOR,
+    remote_dram,
+)
+
+
+# ----------------------------------------------------------------------
+# TLB
+# ----------------------------------------------------------------------
+
+def test_tlb_flush_and_shootdown_costs_accumulate():
+    tlb = Tlb()
+    cost = tlb.flush() + tlb.shootdown() + tlb.flush()
+    assert tlb.flushes == 2
+    assert tlb.shootdowns == 1
+    assert tlb.total_cost_ns == pytest.approx(cost)
+
+
+def test_tlb_reset():
+    tlb = Tlb()
+    tlb.flush()
+    tlb.reset()
+    assert tlb.flushes == 0
+    assert tlb.total_cost_ns == 0.0
+
+
+def test_tlb_config_validation():
+    with pytest.raises(ConfigurationError):
+        TlbConfig(full_flush_ns=-1)
+    with pytest.raises(ConfigurationError):
+        TlbConfig(entries=0)
+
+
+# ----------------------------------------------------------------------
+# Perf counters (Equation 1 input)
+# ----------------------------------------------------------------------
+
+def test_llc_delta_needs_two_epochs():
+    counters = PerfCounters()
+    assert counters.llc_miss_delta() == 0.0
+    counters.record_epoch(100.0, 1e6)
+    assert counters.llc_miss_delta() == 0.0
+
+
+def test_llc_delta_relative_change():
+    counters = PerfCounters()
+    counters.record_epoch(100.0, 1e6)
+    counters.record_epoch(150.0, 1e6)
+    assert counters.llc_miss_delta() == pytest.approx(0.5)
+    counters.record_epoch(75.0, 1e6)
+    assert counters.llc_miss_delta() == pytest.approx(-0.5)
+
+
+def test_llc_delta_zero_previous_is_safe():
+    counters = PerfCounters()
+    counters.record_epoch(0.0, 1e6)
+    counters.record_epoch(50.0, 1e6)
+    assert counters.llc_miss_delta() == 0.0
+
+
+def test_counters_mpki():
+    counters = PerfCounters()
+    counters.record_epoch(1000.0, 1_000_000)
+    assert counters.mpki == pytest.approx(1.0)
+    assert counters.last_llc_misses == 1000.0
+
+
+# ----------------------------------------------------------------------
+# Topology / remote NUMA
+# ----------------------------------------------------------------------
+
+def test_remote_dram_penalties():
+    remote = remote_dram()
+    assert remote.load_latency_ns == pytest.approx(
+        DRAM.load_latency_ns * REMOTE_LATENCY_FACTOR
+    )
+    assert remote.bandwidth_gbps == pytest.approx(
+        DRAM.bandwidth_gbps * REMOTE_BANDWIDTH_FACTOR
+    )
+    # Observation 2: the remote penalty is a fraction of heterogeneity's.
+    assert remote.load_latency_ns < 2 * DRAM.load_latency_ns
+
+
+def test_default_topology_two_sockets():
+    topology = NumaTopology()
+    assert topology.total_cores == 16
+    local = topology.device_for(0, from_socket=0)
+    remote = topology.device_for(1, from_socket=0)
+    assert local.load_latency_ns < remote.load_latency_ns
+
+
+def test_duplicate_socket_ids_rejected():
+    with pytest.raises(ConfigurationError):
+        NumaTopology(
+            sockets=(
+                Socket(socket_id=0, cores=4, devices=(DRAM,)),
+                Socket(socket_id=0, cores=4, devices=(DRAM,)),
+            )
+        )
+
+
+def test_unknown_socket_rejected():
+    with pytest.raises(ConfigurationError):
+        NumaTopology().device_for(9, from_socket=0)
+
+
+def test_socket_needs_cores():
+    with pytest.raises(ConfigurationError):
+        Socket(socket_id=0, cores=0)

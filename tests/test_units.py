@@ -1,0 +1,51 @@
+"""Unit conversion helpers."""
+
+import pytest
+
+from repro import units
+
+
+def test_byte_constants_are_powers_of_two():
+    assert units.KIB == 2**10
+    assert units.MIB == 2**20
+    assert units.GIB == 2**30
+    assert units.PAGE_SIZE == 4096
+    assert units.CACHE_LINE == 64
+
+
+def test_pages_of_bytes_rounds_up():
+    assert units.pages_of_bytes(0) == 0
+    assert units.pages_of_bytes(1) == 1
+    assert units.pages_of_bytes(4096) == 1
+    assert units.pages_of_bytes(4097) == 2
+    assert units.pages_of_bytes(units.GIB) == 262144
+
+
+def test_pages_of_bytes_rejects_negative():
+    with pytest.raises(ValueError):
+        units.pages_of_bytes(-1)
+
+
+def test_bytes_of_pages_roundtrip():
+    for pages in (0, 1, 7, 262144):
+        assert units.pages_of_bytes(units.bytes_of_pages(pages)) == pages
+
+
+def test_bytes_of_pages_rejects_negative():
+    with pytest.raises(ValueError):
+        units.bytes_of_pages(-3)
+
+
+def test_gib_mib_fractional():
+    assert units.gib(0.5) == units.GIB // 2
+    assert units.mib(1.5) == units.MIB + units.MIB // 2
+
+
+def test_time_conversions():
+    assert units.ns_to_ms(1_000_000) == 1.0
+    assert units.ns_to_sec(2_000_000_000) == 2.0
+
+
+def test_bandwidth_conversion_identity():
+    # 1 GB/s is exactly 1 byte/ns.
+    assert units.gbps_to_bytes_per_ns(24.0) == 24.0
