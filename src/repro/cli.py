@@ -7,6 +7,8 @@ Usage::
     python -m repro compare graphchi --ratio 0.25
     python -m repro figure fig9              # any table/figure driver
     python -m repro figure all               # regenerate everything
+    python -m repro lint src/repro           # heterolint static analysis
+    python -m repro sanitize-check           # frame-sanitizer smoke run
 
 The ``figure`` subcommand accepts ``table1 table3 table4 table5 table6
 fig1 fig2 fig3 fig4 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13`` or
@@ -129,6 +131,62 @@ def cmd_figure(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_lint(args: argparse.Namespace) -> int:
+    from repro.devtools.lint import all_rules, lint_paths
+    from repro.errors import LintError
+
+    if args.list_rules:
+        for rule_id, rule_cls in sorted(all_rules().items()):
+            print(f"{rule_id}: {rule_cls.rationale}")
+        return 0
+    rule_ids = args.rules.split(",") if args.rules else None
+    try:
+        report = lint_paths(args.paths, rule_ids=rule_ids)
+    except LintError as exc:
+        print(f"repro lint: {exc}", file=sys.stderr)
+        return 2
+    if args.format == "json":
+        print(report.to_json())
+    else:
+        print(report.format_human())
+    return 0 if report.clean else 1
+
+
+def cmd_sanitize_check(args: argparse.Namespace) -> int:
+    import json as json_module
+
+    from repro.sim.runner import build_config, run_experiment
+
+    config = build_config(
+        fast_ratio=args.ratio, slow_gib=args.slow_gib, seed=args.seed
+    )
+    config.sanitize = True
+    result = run_experiment(
+        args.app, args.policy, epochs=args.epochs, config=config
+    )
+    reports = result.sanitizer_reports
+    if args.format == "json":
+        print(
+            json_module.dumps(
+                {
+                    "app": args.app,
+                    "policy": args.policy,
+                    "epochs": result.stats.epochs,
+                    "violations": [report.to_dict() for report in reports],
+                },
+                indent=2,
+            )
+        )
+    else:
+        for report in reports:
+            print(report.format())
+        print(
+            f"frame sanitizer: {len(reports)} violation(s) over "
+            f"{result.stats.epochs} epochs of {args.app}/{args.policy}"
+        )
+    return 0 if not reports else 1
+
+
 def cmd_sweep(args: argparse.Namespace) -> int:
     from repro.experiments.sweep import sweep
 
@@ -179,6 +237,41 @@ def build_parser() -> argparse.ArgumentParser:
     )
     figure_parser.add_argument("name")
     figure_parser.set_defaults(func=cmd_figure)
+
+    lint_parser = sub.add_parser(
+        "lint", help="run heterolint static analysis over source paths"
+    )
+    lint_parser.add_argument(
+        "paths", nargs="*", default=["src/repro"],
+        help="files or directories to lint (default: src/repro)",
+    )
+    lint_parser.add_argument(
+        "--format", choices=("human", "json"), default="human"
+    )
+    lint_parser.add_argument(
+        "--rules", default=None,
+        help="comma-separated rule ids to run (default: all)",
+    )
+    lint_parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print every registered rule and its rationale",
+    )
+    lint_parser.set_defaults(func=cmd_lint)
+
+    sanitize_parser = sub.add_parser(
+        "sanitize-check",
+        help="run a workload with the frame sanitizer attached",
+    )
+    sanitize_parser.add_argument("--app", default="nginx")
+    sanitize_parser.add_argument("--policy", default="hetero-lru")
+    sanitize_parser.add_argument("--epochs", type=int, default=10)
+    sanitize_parser.add_argument("--ratio", type=float, default=0.25)
+    sanitize_parser.add_argument("--slow-gib", type=float, default=0.5)
+    sanitize_parser.add_argument("--seed", type=int, default=7)
+    sanitize_parser.add_argument(
+        "--format", choices=("human", "json"), default="human"
+    )
+    sanitize_parser.set_defaults(func=cmd_sanitize_check)
 
     sweep_parser = sub.add_parser(
         "sweep", help="grid-sweep apps x policies x ratios"

@@ -35,6 +35,11 @@ class SimConfig:
     epoch_ms: float = 100.0
     cpus: int = 16
     seed: int = 7
+    #: Attach the frame sanitizer (repro.devtools.sanitizer) to the
+    #: guest: shadow-tracks every frame alloc/free/move and reports
+    #: double-frees, leaks, use-after-free, and migration ownership
+    #: races in RunResult.sanitizer_reports.  Slows the run; debug only.
+    sanitize: bool = False
     #: Optional hotness-tracker override (scan costs, thresholds) —
     #: used by the Figure 8 overhead sweeps.
     hotness_config: object | None = None

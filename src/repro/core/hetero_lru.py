@@ -147,6 +147,8 @@ class HeteroLruPolicy(HeapIoSlabOdPolicy):
                 if extent.page_type.is_io:
                     deficit -= kernel.drop_io_extent(extent)
                     continue
+                # 1024 is a minimum demotion batch in *pages*, not bytes.
+                # heterolint: disable-next-line=magic-number
                 move_pages = min(extent.pages, max(deficit, 1024))
                 try:
                     if move_pages < extent.pages:

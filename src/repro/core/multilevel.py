@@ -89,6 +89,8 @@ class MultiLevelPolicy(HeteroLruPolicy):
                 target = self._next_tier_down(node_id)
                 if target is None:
                     break
+                # 1024 is a minimum demotion batch in *pages*, not bytes.
+                # heterolint: disable-next-line=magic-number
                 move_pages = min(extent.pages, max(deficit, 1024))
                 try:
                     if move_pages < extent.pages:

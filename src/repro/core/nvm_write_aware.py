@@ -96,6 +96,9 @@ class NvmWriteAwarePolicy(HeteroLruPolicy):
         window = max(256, self.scan_batch_pages // 32)
         candidates: list[PageExtent] = []
         scanned_pages = 0
+        # Extent ids are handed out monotonically, so insertion order
+        # here is creation order — deterministic under a fixed seed.
+        # heterolint: disable-next-line=unordered-placement
         for extent in kernel.extents.values():
             if scanned_pages >= self.scan_batch_pages:
                 break

@@ -1,0 +1,37 @@
+"""Developer tooling for the simulator: static analysis + runtime checkers.
+
+Two halves:
+
+* :mod:`repro.devtools.lint` — **heterolint**, an AST rule engine that
+  mechanically enforces the invariants DESIGN.md relies on (determinism,
+  the ``ReproError`` hierarchy, ``repro.units`` constants, layering, ...).
+* :mod:`repro.devtools.sanitizer` — **FrameSanitizer**, an ASan-style
+  shadow-state checker for frame ownership (double-free, leak,
+  use-after-free, migration ownership races), enabled with
+  ``SimConfig(sanitize=True)`` or ``repro sanitize-check``.
+"""
+
+from __future__ import annotations
+
+from repro.devtools.lint import (
+    Finding,
+    LintReport,
+    Rule,
+    all_rules,
+    lint_paths,
+    lint_source,
+    register,
+)
+from repro.devtools.sanitizer import FrameSanitizer, SanitizerReport
+
+__all__ = [
+    "Finding",
+    "LintReport",
+    "Rule",
+    "all_rules",
+    "lint_paths",
+    "lint_source",
+    "register",
+    "FrameSanitizer",
+    "SanitizerReport",
+]

@@ -42,3 +42,15 @@ class WorkloadError(ReproError):
 
 class SharingError(ReproError):
     """Multi-VM resource sharing (max-min / DRF) invariant violation."""
+
+
+class DevtoolsError(ReproError):
+    """Base class for the static-analysis / sanitizer tooling."""
+
+
+class LintError(DevtoolsError):
+    """heterolint misuse (bad rule registration, unreadable input)."""
+
+
+class SanitizerError(DevtoolsError):
+    """FrameSanitizer detected a frame-ownership violation (strict mode)."""

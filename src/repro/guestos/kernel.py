@@ -695,6 +695,11 @@ class GuestKernel:
     def hidden_pages(self, node_id: int) -> int:
         return sum(fr.count for fr in self._hidden[node_id])
 
+    def hidden_ranges(self, node_id: int) -> list[FrameRange]:
+        """Balloon-hidden frame ranges on ``node_id`` (read-only view
+        for the frame sanitizer's teardown reconciliation)."""
+        return list(self._hidden[node_id])
+
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------

@@ -77,6 +77,15 @@ class PerCpuFreeLists:
             row.pages for (_, nid), row in self._rows.items() if nid == node_id
         )
 
+    def iter_cached_ranges(self, node_id: int) -> list[FrameRange]:
+        """Frame ranges currently parked in per-CPU rows for ``node_id``
+        (used by the frame sanitizer's teardown reconciliation)."""
+        ranges: list[FrameRange] = []
+        for (_, nid), row in sorted(self._rows.items()):
+            if nid == node_id:
+                ranges.extend(row.ranges)
+        return ranges
+
     def allocate(
         self, cpu: int, node_id: int, pages: int, page_type: PageType
     ) -> list[FrameRange]:

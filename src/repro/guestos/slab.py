@@ -19,7 +19,7 @@ from typing import Callable
 
 from repro.errors import AllocationError
 from repro.mem.extent import PageType
-from repro.units import PAGE_SIZE
+from repro.units import KIB, PAGE_SIZE
 
 #: page_source(cache_name, pages, page_type) -> opaque slab token
 PageSource = Callable[[str, int, PageType], object]
@@ -125,11 +125,11 @@ class SlabCache:
 class SlabAllocator:
     """Registry of slab caches; pre-creates the caches the paper names."""
 
-    #: (name, object size, pages per slab, page type)
+    #: (name, object size in bytes, pages per slab, page type)
     DEFAULT_CACHES = (
-        ("skbuff", 2048, 8, PageType.NETWORK_BUFFER),
+        ("skbuff", 2 * KIB, 8, PageType.NETWORK_BUFFER),
         ("dentry", 192, 4, PageType.SLAB),
-        ("inode", 1024, 8, PageType.SLAB),
+        ("inode", KIB, 8, PageType.SLAB),
         ("buffer_head", 104, 4, PageType.SLAB),
     )
 

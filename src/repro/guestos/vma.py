@@ -38,6 +38,7 @@ class Vma:
 class AddressSpace:
     """A process's mm: bump-pointer mmap, VMA registry, tracking export."""
 
+    # heterolint: disable-next-line=magic-number — VPN base, not bytes
     next_vpn: int = 0x1000
     vmas: dict[str, Vma] = field(default_factory=dict)
     _unmap_hooks: list[UnmapHook] = field(default_factory=list)

@@ -93,6 +93,8 @@ class MemoryDevice:
 
     def is_faster_than(self, other: "MemoryDevice") -> bool:
         """Strict ordering by load latency, ties broken by bandwidth."""
+        # Exact comparison of configured (not accumulated) latencies.
+        # heterolint: disable-next-line=float-time-eq
         if self.load_latency_ns != other.load_latency_ns:
             return self.load_latency_ns < other.load_latency_ns
         return self.bandwidth_gbps > other.bandwidth_gbps

@@ -114,6 +114,9 @@ def throttled_device(
     key = (int(config.latency_factor), int(config.bandwidth_factor))
     exact = (
         TABLE3_PRESETS.get(key)
+        # Exact identity check against the stock-DRAM preset; these
+        # are configured constants, never accumulated virtual time.
+        # heterolint: disable-next-line=float-time-eq
         if base.load_latency_ns == DRAM.load_latency_ns
         and base.bandwidth_gbps == DRAM.bandwidth_gbps
         and key == (config.latency_factor, config.bandwidth_factor)

@@ -24,6 +24,7 @@ import random
 
 from repro.config import SimConfig
 from repro.core.policy import PlacementPolicy, PolicyBinding
+from repro.devtools.sanitizer import FrameSanitizer
 from repro.errors import OutOfMemoryError
 from repro.guestos.balloon import TierReservation
 from repro.guestos.kernel import GuestKernel
@@ -116,6 +117,11 @@ class SimulationEngine:
         self.wear = WearTracker()
         self.rng = random.Random(config.seed)
         self.record_timeseries = record_timeseries
+        #: Frame-ownership shadow checker (SimConfig(sanitize=True)).
+        self.sanitizer: FrameSanitizer | None = None
+        if config.sanitize:
+            self.sanitizer = FrameSanitizer()
+            self.sanitizer.attach_kernel(kernel)
         #: Per-epoch samples when ``record_timeseries`` is set.
         self.timeseries: list[dict] = []
         self.region_specs: dict[str, RegionSpec] = {}
@@ -342,6 +348,10 @@ class SimulationEngine:
     def result(self) -> RunResult:
         kernel = self.kernel
         policy = self.policy
+        sanitizer_reports: list = []
+        if self.sanitizer is not None:
+            self.sanitizer.reconcile(kernel)
+            sanitizer_reports = list(self.sanitizer.reports)
         return RunResult(
             workload_name=self.workload.name,
             policy_name=policy.name,
@@ -361,4 +371,5 @@ class SimulationEngine:
                 name: self.wear.lifetime_years(name, self.stats.runtime_ns)
                 for name in self.wear.write_bytes
             },
+            sanitizer_reports=sanitizer_reports,
         )

@@ -67,6 +67,10 @@ class RunResult:
     #: Projected device lifetime (years) per device name at the run's
     #: write rate, assuming start-gap-grade wear levelling.
     device_lifetime_years: dict[str, float] = field(default_factory=dict)
+    #: Frame-ownership violations found by the frame sanitizer when the
+    #: run was configured with ``SimConfig(sanitize=True)``; empty on a
+    #: clean (or unsanitized) run.
+    sanitizer_reports: list = field(default_factory=list)
 
     @property
     def runtime_sec(self) -> float:

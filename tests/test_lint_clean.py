@@ -1,0 +1,20 @@
+"""Meta-test: the shipped source tree must lint clean.
+
+Any new heterolint finding is either a real bug (fix it) or an
+intentional exception (add a ``# heterolint: disable-next-line=...``
+comment explaining why).  See docs/devtools.md.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import repro
+from repro.devtools.lint import lint_paths
+
+
+def test_shipped_tree_has_zero_unsuppressed_findings():
+    package_dir = pathlib.Path(repro.__file__).parent
+    report = lint_paths([package_dir])
+    assert report.files_checked >= 80
+    assert report.findings == [], "\n" + report.format_human()
