@@ -18,6 +18,7 @@ fig1 fig2 fig3 fig4 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13`` or
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Callable
 
@@ -132,21 +133,56 @@ def cmd_figure(args: argparse.Namespace) -> int:
 
 
 def cmd_lint(args: argparse.Namespace) -> int:
+    from repro.devtools.flow import (
+        DEFAULT_BASELINE,
+        Baseline,
+        combined_rule_metadata,
+        deep_lint_paths,
+        deep_rule_metadata,
+        sarif_json,
+    )
     from repro.devtools.lint import all_rules, lint_paths
     from repro.errors import LintError
 
     if args.list_rules:
         for rule_id, rule_cls in sorted(all_rules().items()):
             print(f"{rule_id}: {rule_cls.rationale}")
+        for rule_id, rationale in sorted(deep_rule_metadata().items()):
+            print(f"{rule_id} [deep]: {rationale}")
         return 0
     rule_ids = args.rules.split(",") if args.rules else None
     try:
-        report = lint_paths(args.paths, rule_ids=rule_ids)
+        if args.deep:
+            baseline = None
+            baseline_path = args.baseline
+            if baseline_path is None and os.path.exists(DEFAULT_BASELINE):
+                baseline_path = DEFAULT_BASELINE
+            if baseline_path is not None and not args.write_baseline:
+                baseline = Baseline.load(baseline_path)
+            report, _index = deep_lint_paths(
+                args.paths,
+                rule_ids=rule_ids,
+                baseline=baseline,
+                cache_dir=args.cache_dir,
+            )
+            if args.write_baseline:
+                target = args.baseline or DEFAULT_BASELINE
+                Baseline.from_findings(report.findings).save(target)
+                print(
+                    f"wrote {len(report.findings)} entr"
+                    f"{'y' if len(report.findings) == 1 else 'ies'} to "
+                    f"{target} (fill in the justifications)"
+                )
+                return 0
+        else:
+            report = lint_paths(args.paths, rule_ids=rule_ids)
     except LintError as exc:
         print(f"repro lint: {exc}", file=sys.stderr)
         return 2
     if args.format == "json":
         print(report.to_json())
+    elif args.format == "sarif":
+        print(sarif_json(report, combined_rule_metadata()))
     else:
         print(report.format_human())
     return 0 if report.clean else 1
@@ -246,7 +282,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="files or directories to lint (default: src/repro)",
     )
     lint_parser.add_argument(
-        "--format", choices=("human", "json"), default="human"
+        "--format", choices=("human", "json", "sarif"), default="human"
     )
     lint_parser.add_argument(
         "--rules", default=None,
@@ -255,6 +291,26 @@ def build_parser() -> argparse.ArgumentParser:
     lint_parser.add_argument(
         "--list-rules", action="store_true",
         help="print every registered rule and its rationale",
+    )
+    lint_parser.add_argument(
+        "--deep", action="store_true",
+        help="also run the heteroflow whole-program analyses "
+        "(dimension inference, protocol typestate, determinism taint)",
+    )
+    lint_parser.add_argument(
+        "--baseline", default=None,
+        help="accepted-findings baseline file (default: "
+        "heteroflow-baseline.json when present; --deep only)",
+    )
+    lint_parser.add_argument(
+        "--write-baseline", action="store_true",
+        help="write the current findings to the baseline file and exit "
+        "(--deep only)",
+    )
+    lint_parser.add_argument(
+        "--cache-dir", default=None,
+        help="directory for the parsed-AST cache (--deep only; "
+        "default: no cache)",
     )
     lint_parser.set_defaults(func=cmd_lint)
 

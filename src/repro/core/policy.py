@@ -26,6 +26,7 @@ from repro.mem.extent import PageType
 from repro.vmm.channel import CoordinationChannel
 from repro.vmm.domain import Domain
 from repro.vmm.hotness import HotnessTracker
+from repro.units import Ns
 from repro.vmm.hypervisor import Hypervisor
 from repro.vmm.migration import MigrationEngine
 
@@ -91,11 +92,11 @@ class PlacementPolicy(abc.ABC):
     def node_preference(self, page_type: PageType) -> list[int]:
         """Node ids to try, in order, for an allocation of ``page_type``."""
 
-    def on_epoch_start(self, epoch: int) -> float:
+    def on_epoch_start(self, epoch: int) -> Ns:
         """Per-epoch setup; returns overhead nanoseconds."""
         return 0.0
 
-    def on_epoch_end(self, epoch: int) -> float:
+    def on_epoch_end(self, epoch: int) -> Ns:
         """Reclaim/track/migrate work; returns overhead nanoseconds."""
         return 0.0
 

@@ -1,18 +1,32 @@
 """Developer tooling for the simulator: static analysis + runtime checkers.
 
-Two halves:
+Three parts, sharing one rule-ID namespace (see docs/devtools.md):
 
 * :mod:`repro.devtools.lint` — **heterolint**, an AST rule engine that
   mechanically enforces the invariants DESIGN.md relies on (determinism,
   the ``ReproError`` hierarchy, ``repro.units`` constants, layering, ...).
+  Bare kebab-case rule ids.
+* :mod:`repro.devtools.flow` — **heteroflow**, whole-program dimension
+  inference, protocol typestate checking, and determinism taint over the
+  project call graph, run as ``repro lint --deep``.  ``flow-`` rule ids.
 * :mod:`repro.devtools.sanitizer` — **FrameSanitizer**, an ASan-style
   shadow-state checker for frame ownership (double-free, leak,
   use-after-free, migration ownership races), enabled with
-  ``SimConfig(sanitize=True)`` or ``repro sanitize-check``.
+  ``SimConfig(sanitize=True)`` or ``repro sanitize-check``.  ``san-``
+  defect-class ids in SARIF output.
 """
 
 from __future__ import annotations
 
+from repro.devtools.flow import (
+    Baseline,
+    BaselineEntry,
+    ProjectIndex,
+    deep_lint_paths,
+    deep_rule_metadata,
+    report_to_sarif,
+    sarif_json,
+)
 from repro.devtools.lint import (
     Finding,
     LintReport,
@@ -25,13 +39,20 @@ from repro.devtools.lint import (
 from repro.devtools.sanitizer import FrameSanitizer, SanitizerReport
 
 __all__ = [
+    "Baseline",
+    "BaselineEntry",
     "Finding",
     "LintReport",
+    "ProjectIndex",
     "Rule",
     "all_rules",
+    "deep_lint_paths",
+    "deep_rule_metadata",
     "lint_paths",
     "lint_source",
     "register",
+    "report_to_sarif",
+    "sarif_json",
     "FrameSanitizer",
     "SanitizerReport",
 ]

@@ -1,0 +1,140 @@
+"""Accepted-findings baseline.
+
+Some deep findings are intentional — a dimension mix that is really a
+documented conversion, a protocol opened here and closed by a runtime
+mechanism the static pass cannot see.  Rather than scattering
+suppression comments for cross-module facts, accepted findings live in
+one committed JSON file, each with a one-line justification, and the
+tree is pinned to *zero unbaselined* findings by
+``tests/test_flow_clean.py``.
+
+Entries match on ``(rule, path suffix, function, message)`` — never on
+line numbers, so unrelated edits do not invalidate the baseline.  Stale
+entries (matching nothing) are reported so the file cannot rot.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.devtools.lint import Finding
+from repro.errors import LintError
+
+__all__ = ["Baseline", "BaselineEntry"]
+
+#: Default committed baseline, relative to the working directory.
+DEFAULT_BASELINE = "heteroflow-baseline.json"
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    """One accepted finding."""
+
+    rule: str
+    path: str
+    function: str
+    message: str
+    justification: str = ""
+
+    def matches(self, finding: Finding) -> bool:
+        return (
+            finding.rule_id == self.rule
+            and finding.function == self.function
+            and finding.message == self.message
+            and (
+                finding.path == self.path
+                or finding.path.endswith(self.path)
+                or self.path.endswith(finding.path)
+            )
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "function": self.function,
+            "message": self.message,
+            "justification": self.justification,
+        }
+
+
+@dataclass
+class Baseline:
+    """A set of accepted findings loaded from / saved to JSON."""
+
+    entries: "list[BaselineEntry]" = field(default_factory=list)
+    #: Entries that matched at least one finding this run.
+    _used: "set[int]" = field(default_factory=set)
+
+    @classmethod
+    def load(cls, path: "str | Path") -> "Baseline":
+        path = Path(path)
+        try:
+            data = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError) as exc:
+            raise LintError(f"cannot read baseline {path}: {exc}") from exc
+        if not isinstance(data, dict) or "entries" not in data:
+            raise LintError(
+                f"baseline {path} must be an object with an 'entries' list"
+            )
+        entries = []
+        for raw in data["entries"]:
+            entries.append(
+                BaselineEntry(
+                    rule=raw.get("rule", ""),
+                    path=raw.get("path", ""),
+                    function=raw.get("function", ""),
+                    message=raw.get("message", ""),
+                    justification=raw.get("justification", ""),
+                )
+            )
+        return cls(entries=entries)
+
+    def save(self, path: "str | Path") -> None:
+        payload = {
+            "version": 1,
+            "entries": [entry.to_dict() for entry in self.entries],
+        }
+        Path(path).write_text(
+            json.dumps(payload, indent=2, sort_keys=False) + "\n",
+            encoding="utf-8",
+        )
+
+    def accepts(self, finding: Finding) -> bool:
+        for position, entry in enumerate(self.entries):
+            if entry.matches(finding):
+                self._used.add(position)
+                return True
+        return False
+
+    def stale_entries(self) -> "list[BaselineEntry]":
+        """Entries that matched nothing (call after filtering a report)."""
+        return [
+            entry
+            for position, entry in enumerate(self.entries)
+            if position not in self._used
+        ]
+
+    @classmethod
+    def from_findings(
+        cls, findings: "list[Finding]", justification: str = "TODO: justify"
+    ) -> "Baseline":
+        entries = []
+        seen = set()
+        for finding in findings:
+            entry = BaselineEntry(
+                rule=finding.rule_id,
+                path=finding.path,
+                function=finding.function,
+                message=finding.message,
+                justification=justification,
+            )
+            key = entry.to_dict()
+            key.pop("justification")
+            fingerprint = tuple(sorted(key.items()))
+            if fingerprint not in seen:
+                seen.add(fingerprint)
+                entries.append(entry)
+        return cls(entries=entries)

@@ -1,0 +1,102 @@
+"""Parsed-AST cache for the deep pass.
+
+Parsing ~100 files and building the call graph dominates heteroflow's
+runtime, and CI runs it on every PR for two Python versions.  The cache
+pickles each file's parsed :class:`FileContext` keyed by a SHA-256 of
+its source, so an incremental run re-parses only what changed and a CI
+cache hit (``actions/cache`` on the cache directory) skips the parse
+entirely.
+
+Pickled AST nodes keep their parent links, but Python object ids do not
+survive a round-trip — the ``TYPE_CHECKING`` node-id set is rebuilt on
+load (:func:`_rebind`).  The cache is invalidated per Python minor
+version because ``ast`` trees are not portable across them.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import pickle
+import sys
+from pathlib import Path
+
+from repro.devtools.lint import FileContext, _is_type_checking_test
+
+__all__ = ["load_contexts", "store_contexts"]
+
+_FORMAT_VERSION = 1
+
+
+def _cache_path(cache_dir: "str | Path") -> Path:
+    tag = f"py{sys.version_info.major}{sys.version_info.minor}"
+    return Path(cache_dir) / f"heteroflow-ast-{tag}.pickle"
+
+
+def _digest(source: str) -> str:
+    return hashlib.sha256(source.encode("utf-8")).hexdigest()
+
+
+def _rebind(ctx: FileContext) -> FileContext:
+    """Recompute the id()-keyed structures invalidated by unpickling."""
+    ctx._parents = {}
+    for parent in ast.walk(ctx.tree):
+        for child in ast.iter_child_nodes(parent):
+            ctx._parents[child] = parent
+    ctx._type_checking_nodes = set()
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.If) and _is_type_checking_test(node.test):
+            for inner in ast.walk(node):
+                ctx._type_checking_nodes.add(id(inner))
+    return ctx
+
+
+def load_contexts(
+    cache_dir: "str | Path", files: "list[Path]"
+) -> "dict[str, FileContext]":
+    """relpath -> parsed FileContext for every cached, unchanged file.
+    Corrupt or stale caches degrade to an empty dict, never an error."""
+    path = _cache_path(cache_dir)
+    try:
+        with open(path, "rb") as handle:
+            payload = pickle.load(handle)
+    except (OSError, pickle.UnpicklingError, EOFError, AttributeError):
+        return {}
+    if not isinstance(payload, dict) or payload.get("version") != _FORMAT_VERSION:
+        return {}
+    cached = payload.get("files", {})
+    contexts: "dict[str, FileContext]" = {}
+    for file_path in files:
+        relpath = str(file_path)
+        entry = cached.get(relpath)
+        if entry is None:
+            continue
+        digest, ctx = entry
+        try:
+            source = file_path.read_text(encoding="utf-8")
+        except OSError:
+            continue
+        if _digest(source) != digest:
+            continue
+        contexts[relpath] = _rebind(ctx)
+    return contexts
+
+
+def store_contexts(
+    cache_dir: "str | Path", contexts: "dict[str, FileContext]"
+) -> None:
+    """Persist parsed contexts; best-effort (failure is not an error)."""
+    directory = Path(cache_dir)
+    try:
+        directory.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "version": _FORMAT_VERSION,
+            "files": {
+                relpath: (_digest(ctx.source), ctx)
+                for relpath, ctx in contexts.items()
+            },
+        }
+        with open(_cache_path(directory), "wb") as handle:
+            pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
+    except (OSError, pickle.PicklingError):
+        pass

@@ -1,0 +1,491 @@
+"""Whole-program dimension inference.
+
+The simulator's quantities come in five currencies — nanoseconds,
+bytes, pages, instructions, and epochs — and the bugs that corrupt
+benchmark numbers are exactly the ones that mix them: a page count
+flowing into a byte-sized API, a nanosecond cost added to an
+instruction count.  This pass seeds dimensions from three sources:
+
+* the ``Annotated`` aliases in :mod:`repro.units` (``Ns``, ``Bytes``,
+  ``Pages``, ``Instructions``, ``Epochs``) used in signatures and
+  dataclass fields,
+* the :mod:`repro.units` constants and converters (``PAGE_SIZE`` is
+  bytes, ``pages_of_bytes`` maps bytes to pages, ...),
+* naming conventions (``*_ns``, ``*_pages``, ``pages_*``, ...),
+
+then propagates them through assignments, returns, and resolved call
+arguments, with function summaries iterated to a fixpoint so a
+dimension inferred in one module flows into its callers everywhere.
+
+Mixing rules: addition, subtraction, comparison, and ``min``/``max``
+require like dimensions; multiplying or dividing by a dimensionless
+factor preserves a dimension; ``pages * BYTES`` is bytes (the page-size
+conversion); dividing like by like is dimensionless.  Anything the
+algebra cannot prove stays *unknown* and is never reported — findings
+need two **known, different** dimensions.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.devtools.flow.graph import (
+    FunctionInfo,
+    ProjectIndex,
+    _annotation_name,
+    ordered_nodes,
+)
+from repro.devtools.lint import Finding
+
+__all__ = ["DIMENSIONS", "DimensionAnalysis", "FuncDims"]
+
+#: Dimension name -> the repro.units Annotated alias that declares it.
+DIMENSIONS = {
+    "ns": "Ns",
+    "bytes": "Bytes",
+    "pages": "Pages",
+    "instructions": "Instructions",
+    "epochs": "Epochs",
+}
+
+_ALIAS_TO_DIM = {alias: dim for dim, alias in DIMENSIONS.items()}
+
+#: repro.units module constants, by dimension.
+_UNITS_CONSTANTS = {
+    "KIB": "bytes",
+    "MIB": "bytes",
+    "GIB": "bytes",
+    "PAGE_SIZE": "bytes",
+    "CACHE_LINE": "bytes",
+    "NS_PER_US": "ns",
+    "NS_PER_MS": "ns",
+    "NS_PER_SEC": "ns",
+}
+
+#: Name-convention seeds: dimension -> (suffixes, prefixes, exact names).
+_NAME_SEEDS = {
+    "ns": (("_ns",), ("ns_",), ()),
+    "bytes": (("_bytes",), ("bytes_",), ("num_bytes",)),
+    "pages": (("_pages",), ("pages_",), ("pages",)),
+    "instructions": (("_instructions",), (), ("instructions",)),
+    "epochs": (("_epoch", "_epochs"), (), ("epoch", "epochs")),
+}
+
+#: Marks a numeric literal / dimensionless factor: compatible with all.
+ANY = "*"
+
+
+def dim_of_name(name: str) -> "str | None":
+    """Naming-convention dimension of a variable/attribute name."""
+    lowered = name.lower()
+    for dim, (suffixes, prefixes, exact) in _NAME_SEEDS.items():
+        if lowered in exact:
+            return dim
+        if any(lowered.endswith(s) for s in suffixes):
+            return dim
+        if any(lowered.startswith(p) for p in prefixes):
+            return dim
+    return None
+
+
+@dataclass
+class FuncDims:
+    """Dimension summary for one function."""
+
+    params: "dict[str, str]" = field(default_factory=dict)
+    ret: "str | None" = None
+    #: True when ``ret`` came from an explicit annotation (never widened).
+    ret_annotated: bool = False
+
+
+class DimensionAnalysis:
+    """Runs dimension inference over a :class:`ProjectIndex`."""
+
+    def __init__(self, index: ProjectIndex) -> None:
+        self.index = index
+        self.summaries: "dict[str, FuncDims]" = {}
+        #: class qualname -> field name -> dimension.
+        self.field_dims: "dict[str, dict[str, str]]" = {}
+        self._seed_summaries()
+        self._infer_returns()
+
+    # ------------------------------------------------------------------
+    # Seeding
+    # ------------------------------------------------------------------
+
+    def _alias_dim(self, info: FunctionInfo, node: "ast.expr | None") -> "str | None":
+        """Dimension declared by an annotation expression, if any."""
+        if node is None:
+            return None
+        module = self.index.modules.get(info.module)
+        if isinstance(node, ast.Constant) and isinstance(node.value, str):
+            text = node.value.strip().strip('"')
+            simple = text.split("[")[0].split(".")[-1].strip()
+            return self._alias_name_dim(simple, module)
+        if isinstance(node, ast.Name):
+            return self._alias_name_dim(node.id, module)
+        if isinstance(node, ast.Attribute):
+            # ``units.Ns`` — trust the attribute name when the base is a
+            # units import, otherwise require an exact alias name.
+            return _ALIAS_TO_DIM.get(node.attr)
+        return None
+
+    @staticmethod
+    def _alias_name_dim(name: str, module) -> "str | None":
+        if name not in _ALIAS_TO_DIM:
+            return None
+        if module is None:
+            return _ALIAS_TO_DIM[name]
+        dotted = module.imports.get(name, "")
+        if dotted.endswith(f"units.{name}") or dotted == "":
+            return _ALIAS_TO_DIM[name]
+        return None
+
+    def _seed_summaries(self) -> None:
+        for qualname, info in self.index.functions.items():
+            summary = FuncDims()
+            for arg in info.all_args:
+                dim = self._alias_dim(info, arg.annotation)
+                if dim is None:
+                    dim = dim_of_name(arg.arg)
+                if dim is not None:
+                    summary.params[arg.arg] = dim
+            ret_dim = self._alias_dim(info, info.node.returns)
+            if ret_dim is not None:
+                summary.ret = ret_dim
+                summary.ret_annotated = True
+            self.summaries[qualname] = summary
+        for qualname, cinfo in self.index.classes.items():
+            dims: "dict[str, str]" = {}
+            for name, annotation in cinfo.field_annotations.items():
+                dim = None
+                simple = _annotation_name(annotation)
+                if simple in _ALIAS_TO_DIM:
+                    dim = _ALIAS_TO_DIM[simple]
+                if dim is None:
+                    dim = dim_of_name(name)
+                if dim is not None:
+                    dims[name] = dim
+            if dims:
+                self.field_dims[qualname] = dims
+
+    def _infer_returns(self) -> None:
+        """Fixpoint over the call graph: an unannotated function whose
+        returned expressions all share one dimension returns it."""
+        for _ in range(4):
+            changed = False
+            for qualname, info in self.index.functions.items():
+                summary = self.summaries[qualname]
+                if summary.ret_annotated or summary.ret is not None:
+                    continue
+                dims = set()
+                env = dict(summary.params)
+                for node in ordered_nodes(info.node):
+                    if isinstance(node, ast.Return) and node.value is not None:
+                        dim = self._expr_dim(info, node.value, env)
+                        dims.add(dim)
+                dims.discard(ANY)
+                if len(dims) == 1 and None not in dims:
+                    summary.ret = dims.pop()
+                    changed = True
+            if not changed:
+                break
+
+    # ------------------------------------------------------------------
+    # Expression dimensions
+    # ------------------------------------------------------------------
+
+    def _units_constant_dim(self, info: FunctionInfo, node: ast.expr) -> "str | None":
+        module = self.index.modules.get(info.module)
+        if module is None:
+            return None
+        if isinstance(node, ast.Name):
+            dotted = module.imports.get(node.id, "")
+            tail = dotted.split(".")[-1] if dotted else node.id
+            if tail in _UNITS_CONSTANTS and (
+                "units" in dotted or dotted == ""
+            ):
+                if dotted:
+                    return _UNITS_CONSTANTS[tail]
+        if isinstance(node, ast.Attribute) and isinstance(node.value, ast.Name):
+            dotted = module.imports.get(node.value.id, "")
+            if dotted and "units" in dotted.split("."):
+                return _UNITS_CONSTANTS.get(node.attr)
+        return None
+
+    def _expr_dim(
+        self,
+        info: FunctionInfo,
+        node: ast.expr,
+        env: "dict[str, str]",
+    ) -> "str | None":
+        if isinstance(node, ast.Constant):
+            if isinstance(node.value, bool) or not isinstance(
+                node.value, (int, float)
+            ):
+                return None
+            return ANY
+        if isinstance(node, ast.Name):
+            if node.id in env:
+                return env[node.id]
+            constant = self._units_constant_dim(info, node)
+            if constant is not None:
+                return constant
+            return dim_of_name(node.id)
+        if isinstance(node, ast.Attribute):
+            constant = self._units_constant_dim(info, node)
+            if constant is not None:
+                return constant
+            receiver = self.index._receiver_class(info, node.value)
+            if receiver is not None:
+                dims = self.field_dims.get(receiver.qualname, {})
+                if node.attr in dims:
+                    return dims[node.attr]
+            return dim_of_name(node.attr)
+        if isinstance(node, ast.Call):
+            return self._call_dim(info, node, env)
+        if isinstance(node, ast.UnaryOp):
+            return self._expr_dim(info, node.operand, env)
+        if isinstance(node, ast.BinOp):
+            return self._binop_dim(info, node, env)
+        if isinstance(node, ast.IfExp):
+            a = self._expr_dim(info, node.body, env)
+            b = self._expr_dim(info, node.orelse, env)
+            if a == b:
+                return a
+            if a in (None, ANY):
+                return b if b not in (None, ANY) else a
+            if b in (None, ANY):
+                return a
+            return None
+        if isinstance(node, ast.BoolOp):
+            dims = {self._expr_dim(info, v, env) for v in node.values}
+            dims.discard(ANY)
+            dims.discard(None)
+            if len(dims) == 1:
+                return dims.pop()
+            return None
+        return None
+
+    _PRESERVING_BUILTINS = frozenset({"abs", "int", "float", "round", "min", "max"})
+
+    def _call_dim(
+        self, info: FunctionInfo, node: ast.Call, env: "dict[str, str]"
+    ) -> "str | None":
+        callee = self.index.resolve_call(info, node)
+        if callee is not None:
+            return self.summaries[callee.qualname].ret
+        func = node.func
+        if isinstance(func, ast.Name) and func.id in self._PRESERVING_BUILTINS:
+            dims = set()
+            for arg in node.args:
+                dims.add(self._expr_dim(info, arg, env))
+            dims.discard(None)
+            dims.discard(ANY)
+            if len(dims) == 1:
+                return dims.pop()
+            return None
+        return None
+
+    def _binop_dim(
+        self, info: FunctionInfo, node: ast.BinOp, env: "dict[str, str]"
+    ) -> "str | None":
+        left = self._expr_dim(info, node.left, env)
+        right = self._expr_dim(info, node.right, env)
+        if isinstance(node.op, (ast.Add, ast.Sub, ast.Mod)):
+            if left == right:
+                return left
+            if left in (None, ANY):
+                return right if right not in (None, ANY) else left
+            if right in (None, ANY):
+                return left
+            return left  # mixed; the finding is reported separately
+        if isinstance(node.op, ast.Mult):
+            pair = {left, right}
+            if pair == {"pages", "bytes"}:
+                return "bytes"  # page count x page size
+            if left == ANY:
+                return right
+            if right == ANY:
+                return left
+            return None
+        if isinstance(node.op, (ast.Div, ast.FloorDiv)):
+            if left == right and left not in (None, ANY):
+                return ANY  # like / like is a ratio
+            if right == ANY:
+                return left
+            return None
+        if isinstance(node.op, (ast.LShift, ast.RShift)):
+            return left
+        return None
+
+    # ------------------------------------------------------------------
+    # Checking
+    # ------------------------------------------------------------------
+
+    def check(self) -> "Iterator[tuple[FunctionInfo, Finding]]":
+        for qualname in sorted(self.index.functions):
+            info = self.index.functions[qualname]
+            yield from self._check_function(info)
+
+    def _mixes(self, a: "str | None", b: "str | None") -> bool:
+        return (
+            a is not None and b is not None
+            and a != ANY and b != ANY and a != b
+        )
+
+    def _finding(
+        self, info: FunctionInfo, node: ast.AST, rule: str, message: str
+    ) -> "tuple[FunctionInfo, Finding]":
+        return info, Finding(
+            rule_id=rule,
+            path=info.ctx.relpath,
+            line=getattr(node, "lineno", 0),
+            col=getattr(node, "col_offset", 0),
+            message=message,
+            function=info.qualname,
+        )
+
+    def _check_function(
+        self, info: FunctionInfo
+    ) -> "Iterator[tuple[FunctionInfo, Finding]]":
+        env = dict(self.summaries[info.qualname].params)
+        for node in ordered_nodes(info.node):
+            if isinstance(node, ast.BinOp) and isinstance(
+                node.op, (ast.Add, ast.Sub, ast.Mod)
+            ):
+                left = self._expr_dim(info, node.left, env)
+                right = self._expr_dim(info, node.right, env)
+                if self._mixes(left, right):
+                    yield self._finding(
+                        info, node, "flow-dim-mix",
+                        f"{left} {_OP_NAMES.get(type(node.op), 'op')} {right}: "
+                        "mixed-dimension arithmetic (convert through "
+                        "repro.units first)",
+                    )
+            elif isinstance(node, ast.Compare):
+                left_dim = self._expr_dim(info, node.left, env)
+                for comparator in node.comparators:
+                    right_dim = self._expr_dim(info, comparator, env)
+                    if self._mixes(left_dim, right_dim):
+                        yield self._finding(
+                            info, node, "flow-dim-mix",
+                            f"comparison of {left_dim} against {right_dim}",
+                        )
+                    if right_dim not in (None, ANY):
+                        left_dim = right_dim
+            elif isinstance(node, ast.Assign):
+                value_dim = self._expr_dim(info, node.value, env)
+                for target in node.targets:
+                    declared = self._target_dim(info, target, env)
+                    if self._mixes(declared, value_dim):
+                        yield self._finding(
+                            info, node, "flow-dim-assign",
+                            f"assigning a {value_dim} value to "
+                            f"{_target_text(target)!r}, which is {declared} "
+                            "by name/annotation",
+                        )
+                    if isinstance(target, ast.Name):
+                        env[target.id] = (
+                            declared if declared is not None else value_dim
+                        ) or value_dim
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                declared = self._alias_dim(info, node.annotation)
+                value_dim = self._expr_dim(info, node.value, env)
+                if self._mixes(declared, value_dim):
+                    yield self._finding(
+                        info, node, "flow-dim-assign",
+                        f"assigning a {value_dim} value to a declared "
+                        f"{declared} target",
+                    )
+                if isinstance(node.target, ast.Name):
+                    env[node.target.id] = declared or value_dim
+            elif isinstance(node, ast.AugAssign) and isinstance(
+                node.op, (ast.Add, ast.Sub, ast.Mod)
+            ):
+                target_dim = self._target_dim(info, node.target, env)
+                if target_dim is None:
+                    target_dim = self._expr_dim(info, node.target, env)
+                value_dim = self._expr_dim(info, node.value, env)
+                if self._mixes(target_dim, value_dim):
+                    yield self._finding(
+                        info, node, "flow-dim-mix",
+                        f"accumulating a {value_dim} value into "
+                        f"{_target_text(node.target)!r} ({target_dim})",
+                    )
+            elif isinstance(node, ast.Return) and node.value is not None:
+                summary = self.summaries[info.qualname]
+                if summary.ret_annotated:
+                    value_dim = self._expr_dim(info, node.value, env)
+                    if self._mixes(summary.ret, value_dim):
+                        yield self._finding(
+                            info, node, "flow-dim-return",
+                            f"returning a {value_dim} value from a function "
+                            f"annotated to return {summary.ret}",
+                        )
+            elif isinstance(node, ast.Call):
+                yield from self._check_call(info, node, env)
+
+    def _check_call(
+        self, info: FunctionInfo, node: ast.Call, env: "dict[str, str]"
+    ) -> "Iterator[tuple[FunctionInfo, Finding]]":
+        callee = self.index.resolve_call(info, node)
+        if callee is None:
+            return
+        callee_summary = self.summaries.get(callee.qualname)
+        if callee_summary is None or not callee_summary.params:
+            return
+        params = callee.params
+        for position, arg in enumerate(node.args):
+            if position >= len(params):
+                break
+            param_name = params[position].arg
+            expected = callee_summary.params.get(param_name)
+            got = self._expr_dim(info, arg, env)
+            if self._mixes(expected, got):
+                yield self._finding(
+                    info, node, "flow-dim-arg",
+                    f"argument {position + 1} of {callee.name}() is "
+                    f"{expected} ({param_name!r}) but a {got} value is "
+                    "passed",
+                )
+        for keyword in node.keywords:
+            if keyword.arg is None:
+                continue
+            expected = callee_summary.params.get(keyword.arg)
+            got = self._expr_dim(info, keyword.value, env)
+            if self._mixes(expected, got):
+                yield self._finding(
+                    info, node, "flow-dim-arg",
+                    f"keyword {keyword.arg!r} of {callee.name}() is "
+                    f"{expected} but a {got} value is passed",
+                )
+
+    def _target_dim(
+        self, info: FunctionInfo, target: ast.expr, env: "dict[str, str]"
+    ) -> "str | None":
+        if isinstance(target, ast.Name):
+            if target.id in env:
+                return env[target.id]
+            return dim_of_name(target.id)
+        if isinstance(target, ast.Attribute):
+            receiver = self.index._receiver_class(info, target.value)
+            if receiver is not None:
+                dims = self.field_dims.get(receiver.qualname, {})
+                if target.attr in dims:
+                    return dims[target.attr]
+            return dim_of_name(target.attr)
+        return None
+
+
+_OP_NAMES = {ast.Add: "+", ast.Sub: "-", ast.Mod: "%"}
+
+
+def _target_text(target: ast.expr) -> str:
+    if isinstance(target, ast.Name):
+        return target.id
+    if isinstance(target, ast.Attribute):
+        return target.attr
+    return "<target>"

@@ -1,0 +1,403 @@
+"""Protocol typestate checking.
+
+The simulator's core contracts are *temporal*: a PTE access-bit clear is
+only correct if a TLB flush is charged before the next epoch reads the
+bits (Observation 4 / Table 6's cost assumptions); a migration pass
+must commit or abort what it began; balloon-hidden spans must be
+surrendered or revealed, never abandoned; a freed region must not be
+touched.  Each contract is a small finite-state machine declared as a
+:class:`ProtocolSpec`, keyed on the *names* of the calls that move it.
+
+Checking is per-function over the call sequence in source order —
+control flow is linearized, which trades a little soundness for zero
+configuration — with two interprocedural credits:
+
+* a call to a project function **splices in that callee's summary**, so
+  a helper that completes a protocol (clear *and* flush) satisfies its
+  callers, and a helper that only closes (just the flush) closes an
+  open protocol at its call site;
+* a function that ends with the protocol open is **credited** when
+  every one of its in-project callers demonstrably closes the protocol
+  after the call — the helper-opens/caller-closes split.
+
+A function that ends open with no such alibi is reported at the call
+that opened the protocol.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.devtools.flow.graph import (
+    FunctionInfo,
+    ProjectIndex,
+    ordered_calls,
+)
+from repro.devtools.lint import Finding
+
+__all__ = ["ProtocolSpec", "ProtocolAnalysis", "CORE_PROTOCOLS"]
+
+
+@dataclass(frozen=True)
+class ProtocolSpec:
+    """One declarative typestate contract.
+
+    ``opens``/``closes``/``forbidden`` are method or function names; a
+    call whose terminal name matches moves the machine.  When
+    ``arg_keyed`` is true the machine tracks one state per first-argument
+    symbol (use-after-free style contracts); otherwise one state per
+    function.  ``must_close`` demands the machine be closed at function
+    exit; ``forbidden`` calls are errors while the machine is open.
+    """
+
+    protocol_id: str
+    description: str
+    opens: "frozenset[str]"
+    closes: "frozenset[str]"
+    forbidden: "frozenset[str]" = frozenset()
+    #: Calls that must not precede the open for the same key: reported
+    #: only when the same function later opens that key, so a resource
+    #: set up by a caller never false-positives.
+    premature: "frozenset[str]" = frozenset()
+    must_close: bool = True
+    arg_keyed: bool = False
+    #: Function names whose bodies implement the primitives themselves
+    #: (the event source must not be checked against its own protocol).
+    exclude: "frozenset[str]" = frozenset()
+    open_message: str = "protocol left open at function exit"
+    forbidden_message: str = "call is invalid while the protocol is open"
+    premature_message: str = "call precedes the open it depends on"
+
+
+#: The simulator's core contracts (see docs/devtools.md for the prose).
+CORE_PROTOCOLS: "tuple[ProtocolSpec, ...]" = (
+    ProtocolSpec(
+        protocol_id="flow-protocol-scan",
+        description=(
+            "an access-bit clear must be followed by a charged TLB flush "
+            "before the function returns (Observation 4: cleared bits are "
+            "invisible until the hardware re-walks the page table)"
+        ),
+        opens=frozenset({"clear_hardware_bits"}),
+        closes=frozenset({"flush"}),
+        open_message=(
+            "clear_hardware_bits() without a charged tlb.flush() before "
+            "exit: the next epoch reads stale access bits and the scan "
+            "cost model under-charges (Table 6 assumes the flush)"
+        ),
+    ),
+    ProtocolSpec(
+        protocol_id="flow-protocol-migration",
+        description=(
+            "a migration pass opened with begin_pass() must be resolved "
+            "with commit_pass() or abort_pass()"
+        ),
+        opens=frozenset({"begin_pass"}),
+        closes=frozenset({"commit_pass", "abort_pass"}),
+        open_message=(
+            "begin_pass() without commit_pass()/abort_pass(): the pass "
+            "stays in flight and its pages never reach the totals"
+        ),
+    ),
+    ProtocolSpec(
+        protocol_id="flow-protocol-balloon",
+        description=(
+            "pages hidden from a guest (hide_pages) must be surrendered "
+            "to the machine pool or revealed back before exit — hidden "
+            "spans held past teardown are unaccountable"
+        ),
+        opens=frozenset({"hide_pages"}),
+        closes=frozenset({"surrender", "reveal_pages"}),
+        exclude=frozenset({"hide_pages"}),
+        open_message=(
+            "hide_pages() without surrender()/reveal_pages(): the span "
+            "stays hidden with no owner the kernel can account for"
+        ),
+    ),
+    ProtocolSpec(
+        protocol_id="flow-protocol-region",
+        description=(
+            "a freed region's frames are back in the buddy allocator: "
+            "touching it is a use-after-free"
+        ),
+        opens=frozenset({"free_region"}),
+        closes=frozenset({"allocate_region"}),
+        forbidden=frozenset({"touch_region"}),
+        must_close=False,
+        arg_keyed=True,
+        exclude=frozenset({"free_region", "touch_region", "allocate_region"}),
+        forbidden_message=(
+            "region is touched after free_region(): its frames are back "
+            "in the buddy allocator (use-after-free)"
+        ),
+    ),
+    ProtocolSpec(
+        protocol_id="flow-protocol-frames",
+        description=(
+            "frames must be allocated before they are touched: a region "
+            "touched earlier in the same function than its allocation "
+            "never had frames behind the access"
+        ),
+        opens=frozenset({"allocate_region"}),
+        closes=frozenset({"free_region"}),
+        premature=frozenset({"touch_region"}),
+        must_close=False,
+        arg_keyed=True,
+        exclude=frozenset({"free_region", "touch_region", "allocate_region"}),
+        premature_message=(
+            "region is touched before allocate_region() creates it: the "
+            "access has no frames behind it"
+        ),
+    ),
+)
+
+
+#: A summary event key: None (unkeyed), ("param", i) or ("literal", value).
+_Key = object
+
+
+@dataclass(frozen=True)
+class _Event:
+    kind: str  # "open" | "close" | "forbidden"
+    key: "tuple | None"
+    node: ast.AST
+
+
+@dataclass
+class _Summary:
+    """Net protocol effect of one function, for splicing at call sites."""
+
+    #: Emits a close before any open (completes a caller's open state).
+    closes_first: bool = False
+    #: Leaves the machine open at exit.
+    leaves_open: bool = False
+    #: The call node of the unclosed open (for reporting).
+    open_node: "ast.AST | None" = None
+    #: True when the unclosed open is emitted directly, not spliced in.
+    open_is_direct: bool = False
+
+
+class ProtocolAnalysis:
+    """Runs every :class:`ProtocolSpec` over a :class:`ProjectIndex`."""
+
+    def __init__(
+        self,
+        index: ProjectIndex,
+        specs: "tuple[ProtocolSpec, ...]" = CORE_PROTOCOLS,
+    ) -> None:
+        self.index = index
+        self.specs = specs
+        #: (protocol id, qualname) -> summary.
+        self._summaries: "dict[tuple[str, str], _Summary]" = {}
+        #: (protocol id, qualname) -> keyed findings raised during summary.
+        self._local_findings: "dict[tuple[str, str], list[tuple[FunctionInfo, Finding]]]" = {}
+        for spec in self.specs:
+            self._summarize(spec)
+
+    # ------------------------------------------------------------------
+    # Event extraction
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _call_name(call: ast.Call) -> "str | None":
+        func = call.func
+        if isinstance(func, ast.Attribute):
+            return func.attr
+        if isinstance(func, ast.Name):
+            return func.id
+        return None
+
+    @staticmethod
+    def _arg_key(info: FunctionInfo, call: ast.Call) -> "tuple | None":
+        """First-argument identity for arg-keyed protocols."""
+        if not call.args:
+            return None
+        arg = call.args[0]
+        if isinstance(arg, ast.Constant) and isinstance(arg.value, (str, int)):
+            return ("literal", arg.value)
+        if isinstance(arg, ast.Name):
+            for position, param in enumerate(info.params):
+                if param.arg == arg.id:
+                    return ("param", position)
+            return ("local", arg.id)
+        return None
+
+    def _events(
+        self, spec: ProtocolSpec, info: FunctionInfo
+    ) -> "list[_Event]":
+        """The function's protocol event sequence, callee summaries
+        spliced in at their call sites."""
+        events: "list[_Event]" = []
+        for call in ordered_calls(info.node):
+            name = self._call_name(call)
+            if name is None:
+                continue
+            key = self._arg_key(info, call) if spec.arg_keyed else None
+            if name in spec.opens:
+                events.append(_Event("open", key, call))
+            elif name in spec.closes:
+                events.append(_Event("close", key, call))
+            elif name in spec.forbidden:
+                events.append(_Event("forbidden", key, call))
+            elif name in spec.premature:
+                events.append(_Event("premature", key, call))
+            else:
+                callee = self.index.resolve_call(info, call)
+                if callee is None or callee.qualname == info.qualname:
+                    continue
+                summary = self._summaries.get(
+                    (spec.protocol_id, callee.qualname)
+                )
+                if summary is None:
+                    continue
+                if summary.closes_first:
+                    events.append(_Event("close", None, call))
+                if summary.leaves_open:
+                    events.append(_Event("spliced-open", None, call))
+        return events
+
+    # ------------------------------------------------------------------
+    # Summaries (bottom-up fixpoint)
+    # ------------------------------------------------------------------
+
+    def _summarize(self, spec: ProtocolSpec) -> None:
+        for _ in range(6):
+            changed = False
+            for qualname in self.index.functions:
+                updated = self._summarize_one(spec, qualname)
+                key = (spec.protocol_id, qualname)
+                if self._summaries.get(key) != updated:
+                    self._summaries[key] = updated
+                    changed = True
+            if not changed:
+                break
+
+    def _summarize_one(self, spec: ProtocolSpec, qualname: str) -> _Summary:
+        info = self.index.functions[qualname]
+        summary = _Summary()
+        if info.name in spec.exclude:
+            return summary
+        findings: "list[tuple[FunctionInfo, Finding]]" = []
+        # Unkeyed machine state plus one machine per tracked key.
+        open_state: "dict[tuple | None, tuple[ast.AST, bool] | None]" = {}
+        seen_any_event_for: "set[tuple | None]" = set()
+        #: key -> first premature call seen while that key was closed.
+        pending_premature: "dict[tuple, ast.AST]" = {}
+        for event in self._events(spec, info):
+            key = event.key
+            if event.kind in ("open", "spliced-open"):
+                if key is not None and key in pending_premature:
+                    findings.append(
+                        _make_finding(
+                            info, pending_premature.pop(key),
+                            spec.protocol_id, spec.premature_message,
+                        )
+                    )
+                open_state[key] = (event.node, event.kind == "open")
+                seen_any_event_for.add(key)
+            elif event.kind == "close":
+                if key is None:
+                    # An unkeyed close closes every open machine — a
+                    # teardown helper closes whatever the caller opened.
+                    if not any(open_state.values()) and not summary.closes_first:
+                        if not seen_any_event_for:
+                            summary.closes_first = True
+                    open_state = {k: None for k in open_state}
+                else:
+                    open_state[key] = None
+                seen_any_event_for.add(key)
+            elif event.kind == "forbidden":
+                state = open_state.get(key)
+                if state is None and key is not None:
+                    # A literal-keyed machine also matches unkeyed opens.
+                    state = open_state.get(None)
+                if state is not None:
+                    findings.append(
+                        _make_finding(
+                            info, event.node, spec.protocol_id,
+                            spec.forbidden_message,
+                        )
+                    )
+                    open_state[key] = None
+            elif event.kind == "premature":
+                # Only meaningful for keys this function itself controls:
+                # a parameter key may be opened by the caller.
+                if (
+                    key is not None
+                    and key[0] in ("literal", "local")
+                    and open_state.get(key) is None
+                    and key not in pending_premature
+                ):
+                    pending_premature[key] = event.node
+        self._local_findings[(spec.protocol_id, qualname)] = findings
+        still_open = [
+            state for state in open_state.values() if state is not None
+        ]
+        if spec.must_close and still_open:
+            node, direct = still_open[0]
+            summary.leaves_open = True
+            summary.open_node = node
+            summary.open_is_direct = direct
+        return summary
+
+    # ------------------------------------------------------------------
+    # Checking
+    # ------------------------------------------------------------------
+
+    def _eventually_closed(
+        self, spec: ProtocolSpec, qualname: str, seen: "set[str]"
+    ) -> bool:
+        """True when every in-project caller of ``qualname`` ends with
+        the protocol closed (directly or through its own callers)."""
+        if qualname in seen:
+            return False
+        seen.add(qualname)
+        call_sites = self.index.callers.get(qualname, [])
+        if not call_sites:
+            return False
+        for caller_qualname, _call in call_sites:
+            caller_summary = self._summaries.get(
+                (spec.protocol_id, caller_qualname), _Summary()
+            )
+            if not caller_summary.leaves_open:
+                continue
+            if not self._eventually_closed(spec, caller_qualname, seen):
+                return False
+        return True
+
+    def check(self) -> "Iterator[tuple[FunctionInfo, Finding]]":
+        for spec in self.specs:
+            for qualname in sorted(self.index.functions):
+                info = self.index.functions[qualname]
+                for item in self._local_findings.get(
+                    (spec.protocol_id, qualname), []
+                ):
+                    yield item
+                summary = self._summaries.get((spec.protocol_id, qualname))
+                if (
+                    summary is None
+                    or not summary.leaves_open
+                    or not summary.open_is_direct
+                ):
+                    continue
+                if self._eventually_closed(spec, qualname, set()):
+                    continue
+                yield _make_finding(
+                    info, summary.open_node, spec.protocol_id,
+                    spec.open_message,
+                )
+
+
+def _make_finding(
+    info: FunctionInfo, node: "ast.AST | None", rule: str, message: str
+) -> "tuple[FunctionInfo, Finding]":
+    return info, Finding(
+        rule_id=rule,
+        path=info.ctx.relpath,
+        line=getattr(node, "lineno", 0),
+        col=getattr(node, "col_offset", 0),
+        message=message,
+        function=info.qualname,
+    )

@@ -1,0 +1,289 @@
+"""Interprocedural determinism taint.
+
+heterolint's ``unordered-placement`` rule catches ``max()`` over a dict
+view *on one line*.  The dangerous cases hide across calls: a helper
+returns ``d.items()`` (or a set), the caller ranks candidates with it,
+and the chosen promotion victim becomes an accident of allocation
+history.  This pass marks unordered iterables at their source —
+``.keys()``/``.values()``/``.items()`` calls, ``set`` constructors and
+literals, set comprehensions — propagates the taint through
+assignments and **return values** (fixpoint over the call graph), and
+reports when a tainted value reaches an order-sensitive decision sink
+inside ``repro.core``/``repro.vmm``:
+
+* ``max()``/``min()`` without a deterministic tie-break,
+* ``next(iter(...))`` / ``list(...)[0]`` first-element selection,
+* a ``for`` loop that ``break``s early.
+
+``sorted(...)`` launders the taint (that is the fix).  Sinks whose
+source is a dict view *on the same line* are left to the shallow rule —
+running both passes must not double-report.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from repro.devtools.flow.graph import (
+    FunctionInfo,
+    ProjectIndex,
+    ordered_nodes,
+)
+from repro.devtools.lint import Finding
+
+__all__ = ["TaintAnalysis"]
+
+#: Packages whose modules make placement/migration decisions (matches
+#: heterolint's unordered-placement scope).
+_DECISION_PACKAGES = frozenset({"core", "vmm"})
+
+_DICT_VIEWS = frozenset({"items", "keys", "values"})
+
+_LAUNDERERS = frozenset({"sorted", "len", "sum", "frozenset", "dict"})
+
+
+def _is_dict_view_call(node: ast.AST) -> bool:
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Attribute)
+        and node.func.attr in _DICT_VIEWS
+        and not node.args
+        and not node.keywords
+    )
+
+
+@dataclass
+class _TaintSummary:
+    """Whether a function's return value iterates in unordered order."""
+
+    returns_tainted: bool = False
+    #: Param names whose taint flows straight through to the return.
+    passthrough: "set[str]" = field(default_factory=set)
+
+
+class TaintAnalysis:
+    """Tracks unordered-iteration taint across the project call graph."""
+
+    def __init__(self, index: ProjectIndex) -> None:
+        self.index = index
+        self.summaries: "dict[str, _TaintSummary]" = {
+            qualname: _TaintSummary() for qualname in index.functions
+        }
+        self._fixpoint()
+
+    # ------------------------------------------------------------------
+    # Taint of an expression
+    # ------------------------------------------------------------------
+
+    def _tainted(
+        self,
+        info: FunctionInfo,
+        node: ast.expr,
+        env: "dict[str, bool]",
+    ) -> bool:
+        if _is_dict_view_call(node):
+            return True
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Name):
+            return env.get(node.id, False)
+        if isinstance(node, ast.IfExp):
+            return self._tainted(info, node.body, env) or self._tainted(
+                info, node.orelse, env
+            )
+        if isinstance(node, ast.Call):
+            func = node.func
+            if isinstance(func, ast.Name):
+                if func.id in _LAUNDERERS:
+                    return False
+                if func.id == "set":
+                    return True
+                if func.id in ("list", "tuple", "iter", "reversed"):
+                    # Order-preserving wrappers keep the taint.
+                    return any(
+                        self._tainted(info, arg, env) for arg in node.args
+                    )
+            if isinstance(func, ast.Attribute) and func.attr in (
+                "union", "intersection", "difference", "symmetric_difference",
+            ):
+                return True
+            callee = self.index.resolve_call(info, node)
+            if callee is not None:
+                summary = self.summaries.get(callee.qualname)
+                if summary is not None:
+                    if summary.returns_tainted:
+                        return True
+                    if summary.passthrough:
+                        params = callee.params
+                        for position, arg in enumerate(node.args):
+                            if position >= len(params):
+                                break
+                            if params[position].arg in summary.passthrough:
+                                if self._tainted(info, arg, env):
+                                    return True
+            return False
+        return False
+
+    # ------------------------------------------------------------------
+    # Function summaries
+    # ------------------------------------------------------------------
+
+    def _fixpoint(self) -> None:
+        for _ in range(5):
+            changed = False
+            for qualname, info in self.index.functions.items():
+                summary = self.summaries[qualname]
+                env = self._env_after_body(info)
+                returns_tainted = False
+                passthrough: "set[str]" = set()
+                param_names = {arg.arg for arg in info.all_args}
+                for node in ordered_nodes(info.node):
+                    if not isinstance(node, ast.Return) or node.value is None:
+                        continue
+                    value = node.value
+                    if self._tainted(info, value, env):
+                        returns_tainted = True
+                    if (
+                        isinstance(value, ast.Name)
+                        and value.id in param_names
+                    ):
+                        passthrough.add(value.id)
+                    elif isinstance(value, ast.Call) and isinstance(
+                        value.func, ast.Name
+                    ) and value.func.id in ("list", "tuple", "iter"):
+                        for arg in value.args:
+                            if (
+                                isinstance(arg, ast.Name)
+                                and arg.id in param_names
+                            ):
+                                passthrough.add(arg.id)
+                if (
+                    returns_tainted != summary.returns_tainted
+                    or passthrough != summary.passthrough
+                ):
+                    summary.returns_tainted = returns_tainted
+                    summary.passthrough = passthrough
+                    changed = True
+            if not changed:
+                break
+
+    def _env_after_body(self, info: FunctionInfo) -> "dict[str, bool]":
+        """Name -> tainted, from a single in-order pass over the body."""
+        env: "dict[str, bool]" = {}
+        for node in ordered_nodes(info.node):
+            if isinstance(node, ast.Assign):
+                tainted = self._tainted(info, node.value, env)
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        env[target.id] = tainted
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                if isinstance(node.target, ast.Name):
+                    env[node.target.id] = self._tainted(info, node.value, env)
+            elif isinstance(node, ast.Call) and isinstance(
+                node.func, ast.Attribute
+            ) and node.func.attr == "sort" and isinstance(
+                node.func.value, ast.Name
+            ):
+                env[node.func.value.id] = False  # in-place sort launders
+        return env
+
+    # ------------------------------------------------------------------
+    # Checking
+    # ------------------------------------------------------------------
+
+    def check(self) -> "Iterator[tuple[FunctionInfo, Finding]]":
+        for qualname in sorted(self.index.functions):
+            info = self.index.functions[qualname]
+            if info.ctx.package not in _DECISION_PACKAGES:
+                continue
+            yield from self._check_function(info)
+
+    def _check_function(
+        self, info: FunctionInfo
+    ) -> "Iterator[tuple[FunctionInfo, Finding]]":
+        env: "dict[str, bool]" = {}
+        for node in ordered_nodes(info.node):
+            if isinstance(node, ast.Assign):
+                tainted = self._tainted(info, node.value, env)
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        env[target.id] = tainted
+            elif isinstance(node, ast.Call) and isinstance(
+                node.func, ast.Attribute
+            ) and node.func.attr == "sort" and isinstance(
+                node.func.value, ast.Name
+            ):
+                env[node.func.value.id] = False
+            elif isinstance(node, ast.Call) and isinstance(
+                node.func, ast.Name
+            ):
+                name = node.func.id
+                if name in ("max", "min") and len(node.args) == 1:
+                    arg = node.args[0]
+                    if _is_dict_view_call(arg):
+                        continue  # shallow unordered-placement owns this
+                    if self._tainted(info, arg, env):
+                        yield self._finding(
+                            info, node,
+                            f"{name}() ranks an unordered iterable that "
+                            "flowed in through the call graph; sort with an "
+                            "explicit key first",
+                        )
+                elif name == "next" and node.args:
+                    inner = node.args[0]
+                    if (
+                        isinstance(inner, ast.Call)
+                        and isinstance(inner.func, ast.Name)
+                        and inner.func.id == "iter"
+                        and inner.args
+                        and self._tainted(info, inner.args[0], env)
+                    ):
+                        yield self._finding(
+                            info, node,
+                            "next(iter(...)) picks the first element of an "
+                            "unordered iterable; the winner is an accident "
+                            "of insertion order",
+                        )
+            elif isinstance(node, ast.Subscript):
+                if (
+                    isinstance(node.slice, ast.Constant)
+                    and node.slice.value == 0
+                    and isinstance(node.value, ast.Call)
+                    and isinstance(node.value.func, ast.Name)
+                    and node.value.func.id in ("list", "tuple")
+                    and node.value.args
+                    and self._tainted(info, node.value.args[0], env)
+                ):
+                    yield self._finding(
+                        info, node,
+                        "first element of a list() over an unordered "
+                        "iterable; the winner is an accident of insertion "
+                        "order",
+                    )
+            elif isinstance(node, ast.For):
+                if _is_dict_view_call(node.iter):
+                    continue  # shallow unordered-placement owns this
+                if self._tainted(info, node.iter, env) and any(
+                    isinstance(inner, ast.Break)
+                    for inner in ast.walk(node)
+                ):
+                    yield self._finding(
+                        info, node,
+                        "early-break loop over an unordered iterable that "
+                        "flowed in through the call graph; which entries "
+                        "are reached depends on insertion order",
+                    )
+
+    def _finding(
+        self, info: FunctionInfo, node: ast.AST, message: str
+    ) -> "tuple[FunctionInfo, Finding]":
+        return info, Finding(
+            rule_id="flow-unordered-flow",
+            path=info.ctx.relpath,
+            line=getattr(node, "lineno", 0),
+            col=getattr(node, "col_offset", 0),
+            message=message,
+            function=info.qualname,
+        )

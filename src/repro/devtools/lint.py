@@ -55,18 +55,24 @@ class Finding:
     line: int
     col: int
     message: str
+    #: Qualified name of the enclosing function (deep findings only);
+    #: the stable anchor baseline entries match against.
+    function: str = ""
 
     def format(self) -> str:
         return f"{self.path}:{self.line}:{self.col}: {self.rule_id}: {self.message}"
 
     def to_dict(self) -> dict:
-        return {
+        data = {
             "rule": self.rule_id,
             "path": self.path,
             "line": self.line,
             "col": self.col,
             "message": self.message,
         }
+        if self.function:
+            data["function"] = self.function
+        return data
 
 
 _SUPPRESS_RE = re.compile(

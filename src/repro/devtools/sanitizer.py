@@ -45,6 +45,12 @@ class SanitizerReport:
     count: int
     detail: str = ""
 
+    @property
+    def rule_id(self) -> str:
+        """The defect class in the shared rule-ID namespace (``san-``
+        prefix; see docs/devtools.md)."""
+        return f"san-{self.kind}"
+
     def format(self) -> str:
         span = f"[{self.start}, {self.start + self.count})"
         text = (
@@ -57,6 +63,7 @@ class SanitizerReport:
 
     def to_dict(self) -> dict:
         return {
+            "rule": self.rule_id,
             "kind": self.kind,
             "space": self.space,
             "owner": self.owner,

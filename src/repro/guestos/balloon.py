@@ -18,6 +18,7 @@ from typing import Protocol
 
 from repro.errors import ConfigurationError
 from repro.guestos.numa import NodeTier
+from repro.units import Pages
 
 
 class BalloonBackendProtocol(Protocol):
@@ -25,12 +26,12 @@ class BalloonBackendProtocol(Protocol):
     :mod:`repro.vmm.balloon_backend`)."""
 
     def request_pages(
-        self, domain_id: int, tier: NodeTier, pages: int, allow_fallback: bool
+        self, domain_id: int, tier: NodeTier, pages: Pages, allow_fallback: bool
     ) -> dict[NodeTier, int]:
         """Grant up to ``pages``; returns pages granted per tier."""
         ...
 
-    def return_pages(self, domain_id: int, tier: NodeTier, pages: int) -> None:
+    def return_pages(self, domain_id: int, tier: NodeTier, pages: Pages) -> None:
         """Give pages of ``tier`` back to the machine pool."""
         ...
 
@@ -47,8 +48,8 @@ class TierReservation:
     """Boot-time minimum and balloonable maximum for one memory type
     (the Section 4.2 ballooning extension)."""
 
-    min_pages: int
-    max_pages: int
+    min_pages: Pages
+    max_pages: Pages
 
     def __post_init__(self) -> None:
         if not 0 <= self.min_pages <= self.max_pages:
@@ -74,13 +75,13 @@ class BalloonFrontend:
         self.ballooned_in: dict[NodeTier, int] = {t: 0 for t in reservations}
         self.stats = BalloonStats()
 
-    def current_pages(self, tier: NodeTier) -> int:
+    def current_pages(self, tier: NodeTier) -> Pages:
         reservation = self.reservations.get(tier)
         if reservation is None:
             return 0
         return reservation.min_pages + self.ballooned_in.get(tier, 0)
 
-    def headroom(self, tier: NodeTier) -> int:
+    def headroom(self, tier: NodeTier) -> Pages:
         """Pages this tier may still balloon in under its max."""
         reservation = self.reservations.get(tier)
         if reservation is None:
@@ -88,7 +89,7 @@ class BalloonFrontend:
         return reservation.max_pages - self.current_pages(tier)
 
     def request(
-        self, tier: NodeTier, pages: int, allow_fallback: bool = False
+        self, tier: NodeTier, pages: Pages, allow_fallback: bool = False
     ) -> dict[NodeTier, int]:
         """Ask the VMM for ``pages`` of ``tier``; respects the tier max.
 
@@ -115,7 +116,7 @@ class BalloonFrontend:
             )
         return granted
 
-    def inflate(self, tier: NodeTier, pages: int) -> int:
+    def inflate(self, tier: NodeTier, pages: Pages) -> Pages:
         """Return up to ``pages`` of ``tier`` to the VMM (never digging
         below the boot minimum).  Returns pages actually returned."""
         if pages <= 0:

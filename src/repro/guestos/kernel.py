@@ -30,7 +30,7 @@ from repro.guestos.swap import SwapDevice
 from repro.guestos.vma import AddressSpace
 from repro.mem.extent import ExtentState, PageExtent, PageType
 from repro.mem.frames import FrameRange
-from repro.units import GIB, pages_of_bytes
+from repro.units import GIB, Ns, Pages, pages_of_bytes
 
 #: Requests at or below this many pages take the per-CPU fast path.
 PERCPU_THRESHOLD_PAGES = 16
@@ -149,7 +149,7 @@ class GuestKernel:
                 return node
         raise AllocationError(f"no node of tier {tier.value}")
 
-    def free_pages(self, node_id: int) -> int:
+    def free_pages(self, node_id: int) -> Pages:
         return self.nodes[node_id].free_pages
 
     # ------------------------------------------------------------------
@@ -179,7 +179,7 @@ class GuestKernel:
         self,
         region_id: str,
         page_type: PageType,
-        pages: int,
+        pages: Pages,
         node_preference: list[int],
         cpu: int = 0,
         allow_partial_nodes: bool = True,
@@ -261,7 +261,7 @@ class GuestKernel:
                 extent.dirty = True
         return extents
 
-    def free_region(self, region_id: str) -> int:
+    def free_region(self, region_id: str) -> Pages:
         """Release a region entirely; returns pages freed.
 
         Fires the unmap hooks (HeteroOS-LRU's eager-demotion trigger) and
@@ -365,7 +365,7 @@ class GuestKernel:
                 remaining.pages * self.swap.read_page_ns * 0.1
             )
 
-    def split_swapped(self, extent: PageExtent, first_pages: int) -> PageExtent:
+    def split_swapped(self, extent: PageExtent, first_pages: Pages) -> PageExtent:
         """Split a *swapped* extent (no frames to divide); returns the
         tail, which stays swapped."""
         if not 0 < first_pages < extent.pages:
@@ -398,7 +398,7 @@ class GuestKernel:
     # Reclaim (balloon-out path)
     # ------------------------------------------------------------------
 
-    def shrink_node(self, node_id: int, pages: int) -> int:
+    def shrink_node(self, node_id: int, pages: Pages) -> Pages:
         """Make up to ``pages`` pages free on ``node_id`` for ballooning
         out: counts already-free pages first, then swaps out the coldest
         extents (cost accrues to :attr:`pending_cost_ns`).  Returns the
@@ -436,7 +436,7 @@ class GuestKernel:
         if ids is not None and extent.extent_id in ids:
             ids.remove(extent.extent_id)
 
-    def drain_pending_cost(self) -> float:
+    def drain_pending_cost(self) -> Ns:
         """Hand accumulated kernel-internal costs to the engine."""
         cost = self.pending_cost_ns
         self.pending_cost_ns = 0.0
@@ -521,7 +521,7 @@ class GuestKernel:
                     f"{node.total_pages} total"
                 )
 
-    def _region_pages(self, region_id: str) -> int:
+    def _region_pages(self, region_id: str) -> Pages:
         return sum(e.pages for e in self.region_extents(region_id))
 
     # ------------------------------------------------------------------
@@ -571,7 +571,7 @@ class GuestKernel:
             self.lru[target_node_id].deactivate(extent)
         return extent.pages
 
-    def split_extent(self, extent: PageExtent, first_pages: int) -> PageExtent:
+    def split_extent(self, extent: PageExtent, first_pages: Pages) -> PageExtent:
         """Split an extent in place: ``extent`` keeps ``first_pages``, the
         remainder becomes a new extent of the same region returned to the
         caller.  Temperatures split proportionally (uniform within a
@@ -630,7 +630,7 @@ class GuestKernel:
             self.page_cache.insert(sibling, dirty=self.page_cache.is_dirty(extent))
         return sibling
 
-    def drop_io_extent(self, extent: PageExtent) -> int:
+    def drop_io_extent(self, extent: PageExtent) -> Pages:
         """Release an I/O cache extent outright (writeback first if
         dirty): the cheap eviction path for completed I/O — the backing
         store already holds the data, no copy to SlowMem is needed.
@@ -658,7 +658,7 @@ class GuestKernel:
     # Balloon support
     # ------------------------------------------------------------------
 
-    def hide_pages(self, node_id: int, pages: int) -> int:
+    def hide_pages(self, node_id: int, pages: Pages) -> Pages:
         """Remove free pages from a node (balloon inflation); returns
         pages actually hidden."""
         node = self.nodes[node_id]
@@ -676,7 +676,7 @@ class GuestKernel:
                 break
         return hidden
 
-    def reveal_pages(self, node_id: int, pages: int) -> int:
+    def reveal_pages(self, node_id: int, pages: Pages) -> Pages:
         """Return balloon-hidden pages to a node's allocator; returns
         pages revealed."""
         node = self.nodes[node_id]
@@ -692,7 +692,7 @@ class GuestKernel:
             revealed += frame_range.count
         return revealed
 
-    def hidden_pages(self, node_id: int) -> int:
+    def hidden_pages(self, node_id: int) -> Pages:
         return sum(fr.count for fr in self._hidden[node_id])
 
     def hidden_ranges(self, node_id: int) -> list[FrameRange]:

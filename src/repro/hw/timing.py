@@ -24,6 +24,7 @@ from dataclasses import dataclass
 
 from repro.errors import ConfigurationError
 from repro.hw.memdevice import MemoryDevice
+from repro.units import Instructions, Ns
 
 
 @dataclass(frozen=True)
@@ -38,7 +39,7 @@ class CpuConfig:
         if self.frequency_ghz <= 0 or self.ipc <= 0 or self.cores <= 0:
             raise ConfigurationError("CPU parameters must be positive")
 
-    def cpu_ns(self, instructions: float) -> float:
+    def cpu_ns(self, instructions: Instructions) -> Ns:
         """Pure-compute time for ``instructions`` (no memory stalls)."""
         return instructions / (self.ipc * self.frequency_ghz)
 
@@ -67,7 +68,7 @@ class MemoryTimingModel:
 
     def stall_ns(
         self, device: MemoryDevice, demand: DeviceDemand, mlp: float
-    ) -> float:
+    ) -> Ns:
         """Stall time for ``demand`` served by ``device`` at MLP ``mlp``."""
         if mlp <= 0:
             raise ConfigurationError(f"MLP must be positive, got {mlp}")
@@ -80,10 +81,10 @@ class MemoryTimingModel:
 
     def epoch_ns(
         self,
-        instructions: float,
+        instructions: Instructions,
         demands: dict[MemoryDevice, DeviceDemand],
         mlp: float,
-    ) -> float:
+    ) -> Ns:
         """Total epoch time: compute plus all device stalls."""
         total = self.cpu.cpu_ns(instructions)
         for device, demand in demands.items():

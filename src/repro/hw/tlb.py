@@ -15,7 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.errors import ConfigurationError
-from repro.units import NS_PER_US
+from repro.units import NS_PER_US, Ns
 
 
 @dataclass(frozen=True)
@@ -46,12 +46,12 @@ class Tlb:
     flushes: int = 0
     shootdowns: int = 0
 
-    def flush(self) -> float:
+    def flush(self) -> Ns:
         """Full flush (used by hotness-tracking scans).  Returns cost (ns)."""
         self.flushes += 1
         return self.config.full_flush_ns
 
-    def shootdown(self) -> float:
+    def shootdown(self) -> Ns:
         """Cross-core shootdown (used by migrations).  Returns cost (ns)."""
         self.shootdowns += 1
         return self.config.shootdown_ns
@@ -61,7 +61,7 @@ class Tlb:
         self.shootdowns = 0
 
     @property
-    def total_cost_ns(self) -> float:
+    def total_cost_ns(self) -> Ns:
         return (
             self.flushes * self.config.full_flush_ns
             + self.shootdowns * self.config.shootdown_ns

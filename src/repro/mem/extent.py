@@ -21,7 +21,7 @@ from dataclasses import dataclass, field
 
 from repro.errors import AllocationError
 from repro.mem.frames import FrameRange
-from repro.units import PAGE_SIZE
+from repro.units import PAGE_SIZE, Bytes, Epochs, Pages
 
 
 class PageType(enum.Enum):
@@ -80,7 +80,7 @@ class PageExtent:
 
     region_id: str
     page_type: PageType
-    pages: int
+    pages: Pages
     node_id: int
     frames: list[FrameRange] = field(default_factory=list)
     extent_id: int = field(default_factory=lambda: next(_extent_ids))
@@ -92,15 +92,15 @@ class PageExtent:
     dirty: bool = False
     #: True while the extent's pages live on the swap device (reclaimed).
     swapped: bool = False
-    birth_epoch: int = 0
-    last_access_epoch: int = -1
+    birth_epoch: Epochs = 0
+    last_access_epoch: Epochs = -1
 
     def __post_init__(self) -> None:
         if self.pages <= 0:
             raise AllocationError("extent must contain at least one page")
 
     @property
-    def bytes(self) -> int:
+    def bytes(self) -> Bytes:
         return self.pages * PAGE_SIZE
 
     def record_access(

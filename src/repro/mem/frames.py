@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.errors import AllocationError, OutOfMemoryError
+from repro.units import Pages
 
 
 @dataclass(frozen=True)
@@ -19,7 +20,7 @@ class FrameRange:
     """A contiguous run of machine frames ``[start, start + count)``."""
 
     start: int
-    count: int
+    count: Pages
 
     def __post_init__(self) -> None:
         if self.start < 0 or self.count <= 0:
@@ -34,7 +35,7 @@ class FrameRange:
     def overlaps(self, other: "FrameRange") -> bool:
         return self.start < other.end and other.start < self.end
 
-    def split(self, count: int) -> tuple["FrameRange", "FrameRange"]:
+    def split(self, count: Pages) -> tuple["FrameRange", "FrameRange"]:
         """Split into a prefix of ``count`` frames and the remainder."""
         if not 0 < count < self.count:
             raise AllocationError(
@@ -60,14 +61,14 @@ class FramePool:
         self._allocated_frames = 0
 
     @property
-    def free_frames(self) -> int:
+    def free_frames(self) -> Pages:
         return self.total_frames - self._allocated_frames
 
     @property
-    def allocated_frames(self) -> int:
+    def allocated_frames(self) -> Pages:
         return self._allocated_frames
 
-    def allocate(self, count: int) -> FrameRange:
+    def allocate(self, count: Pages) -> FrameRange:
         """Allocate ``count`` contiguous frames (first fit).
 
         Raises :class:`OutOfMemoryError` when no single free range is large
@@ -90,7 +91,7 @@ class FramePool:
             f"({self.free_frames} free total)"
         )
 
-    def allocate_scattered(self, count: int) -> list[FrameRange]:
+    def allocate_scattered(self, count: Pages) -> list[FrameRange]:
         """Allocate ``count`` frames as one or more ranges.
 
         Raises :class:`OutOfMemoryError` (leaving the pool untouched) when

@@ -12,6 +12,24 @@ class and makes capacity arithmetic greppable.
 
 from __future__ import annotations
 
+from typing import Annotated
+
+# ----------------------------------------------------------------------
+# Dimension aliases (heteroflow seeds)
+# ----------------------------------------------------------------------
+#
+# Lightweight ``Annotated`` aliases naming the simulator's five
+# currencies.  They cost nothing at runtime (``Annotated[float, ...]``
+# behaves exactly like ``float``) but they make signatures
+# self-documenting and give ``repro lint --deep`` its dimension seeds:
+# a ``Pages`` value flowing into a ``Bytes`` parameter is a finding.
+
+Ns = Annotated[float, "heteroflow-dim:ns"]
+Bytes = Annotated[int, "heteroflow-dim:bytes"]
+Pages = Annotated[int, "heteroflow-dim:pages"]
+Instructions = Annotated[float, "heteroflow-dim:instructions"]
+Epochs = Annotated[int, "heteroflow-dim:epochs"]
+
 KIB: int = 1024
 MIB: int = 1024 * KIB
 GIB: int = 1024 * MIB
@@ -27,36 +45,36 @@ NS_PER_MS: float = 1_000_000.0
 NS_PER_SEC: float = 1_000_000_000.0
 
 
-def pages_of_bytes(num_bytes: int) -> int:
+def pages_of_bytes(num_bytes: Bytes) -> Pages:
     """Number of whole pages needed to hold ``num_bytes`` (rounds up)."""
     if num_bytes < 0:
         raise ValueError(f"byte count must be non-negative, got {num_bytes}")
     return -(-num_bytes // PAGE_SIZE)
 
 
-def bytes_of_pages(pages: int) -> int:
+def bytes_of_pages(pages: Pages) -> Bytes:
     """Byte size of ``pages`` whole pages."""
     if pages < 0:
         raise ValueError(f"page count must be non-negative, got {pages}")
     return pages * PAGE_SIZE
 
 
-def gib(amount: float) -> int:
+def gib(amount: float) -> Bytes:
     """Whole bytes in ``amount`` GiB (accepts fractional amounts)."""
     return int(amount * GIB)
 
 
-def mib(amount: float) -> int:
+def mib(amount: float) -> Bytes:
     """Whole bytes in ``amount`` MiB (accepts fractional amounts)."""
     return int(amount * MIB)
 
 
-def ns_to_ms(ns: float) -> float:
+def ns_to_ms(ns: Ns) -> float:
     """Nanoseconds to milliseconds."""
     return ns / NS_PER_MS
 
 
-def ns_to_sec(ns: float) -> float:
+def ns_to_sec(ns: Ns) -> float:
     """Nanoseconds to seconds."""
     return ns / NS_PER_SEC
 

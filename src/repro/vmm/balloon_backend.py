@@ -16,6 +16,7 @@ from typing import TYPE_CHECKING
 
 from repro.errors import SharingError
 from repro.guestos.numa import NodeTier
+from repro.units import Pages
 from repro.vmm.domain import Domain
 from repro.vmm.machine import MachineMemory
 from repro.vmm.sharing import Reclaim, SharingPolicy
@@ -50,7 +51,7 @@ class BalloonBackend:
     # ------------------------------------------------------------------
 
     def request_pages(
-        self, domain_id: int, tier: NodeTier, pages: int, allow_fallback: bool
+        self, domain_id: int, tier: NodeTier, pages: Pages, allow_fallback: bool
     ) -> dict[NodeTier, int]:
         requester = self._domain(domain_id)
         granted: dict[NodeTier, int] = {}
@@ -68,7 +69,7 @@ class BalloonBackend:
                     shortfall -= extra
         return granted
 
-    def return_pages(self, domain_id: int, tier: NodeTier, pages: int) -> None:
+    def return_pages(self, domain_id: int, tier: NodeTier, pages: Pages) -> None:
         domain = self._domain(domain_id)
         ranges = domain.surrender(tier, pages)
         self.machine.free(tier, ranges)
@@ -77,7 +78,9 @@ class BalloonBackend:
     # Internals
     # ------------------------------------------------------------------
 
-    def _grant_tier(self, requester: Domain, tier: NodeTier, pages: int) -> int:
+    def _grant_tier(
+        self, requester: Domain, tier: NodeTier, pages: Pages
+    ) -> Pages:
         decision = self.policy.arbitrate(
             requester, tier, pages, self.machine, list(self.domains.values())
         )

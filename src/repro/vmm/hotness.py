@@ -22,7 +22,7 @@ from typing import Iterable, Sequence
 from repro.errors import ConfigurationError
 from repro.hw.tlb import Tlb
 from repro.mem.extent import PageExtent
-from repro.units import NS_PER_US
+from repro.units import NS_PER_US, Ns, Pages
 
 
 @dataclass(frozen=True)
@@ -65,10 +65,10 @@ class HotnessConfig:
 class ScanReport:
     """Result of one hotness scan pass."""
 
-    pages_scanned: int = 0
+    pages_scanned: Pages = 0
     extents_scanned: int = 0
     hot_extents: list[PageExtent] = field(default_factory=list)
-    cost_ns: float = 0.0
+    cost_ns: Ns = 0.0
     tlb_flushes: int = 0
 
 
@@ -92,7 +92,7 @@ class HotnessTracker:
     def scan(
         self,
         extents: Iterable[PageExtent],
-        max_pages: int | None = None,
+        max_pages: "Pages | None" = None,
     ) -> ScanReport:
         """Scan up to ``max_pages`` (default: one batch) of ``extents``.
 

@@ -31,7 +31,7 @@ from repro.errors import AllocationError, MigrationError, OutOfMemoryError
 from repro.guestos.kernel import GuestKernel
 from repro.hw.tlb import Tlb
 from repro.mem.extent import PageExtent
-from repro.units import NS_PER_US
+from repro.units import NS_PER_US, Ns, Pages
 
 #: batch pages -> (per-page move ns, per-page walk ns).  Table 6.
 TABLE6_ANCHORS: dict[int, tuple[float, float]] = {
@@ -72,7 +72,7 @@ class MigrationCostModel:
                 return m0 + t * (m1 - m0), w0 + t * (w1 - w0)
         raise MigrationError("unreachable")  # pragma: no cover
 
-    def migration_cost_ns(self, pages: int, batch_pages: int) -> float:
+    def migration_cost_ns(self, pages: Pages, batch_pages: Pages) -> Ns:
         """Total walk+copy cost for migrating ``pages`` at ``batch_pages``."""
         move, walk = self.per_page_costs(batch_pages)
         return pages * (move + walk)
@@ -82,12 +82,12 @@ class MigrationCostModel:
 class MigrationReport:
     """Outcome of one migration pass."""
 
-    pages_moved: int = 0
-    pages_failed: int = 0
-    pages_rejected: int = 0
+    pages_moved: Pages = 0
+    pages_failed: Pages = 0
+    pages_rejected: Pages = 0
     extents_moved: int = 0
-    cost_ns: float = 0.0
-    evicted_pages: int = 0
+    cost_ns: Ns = 0.0
+    evicted_pages: Pages = 0
 
     def merge(self, other: "MigrationReport") -> None:
         self.pages_moved += other.pages_moved
@@ -111,9 +111,49 @@ class MigrationEngine:
 
     cost_model: MigrationCostModel = field(default_factory=MigrationCostModel)
     tlb: Tlb = field(default_factory=Tlb)
-    default_batch_pages: int = 64 * 1024
+    default_batch_pages: Pages = 64 * 1024
     stall_fraction: float = 0.3
     total: MigrationReport = field(default_factory=MigrationReport)
+    #: Report accumulating the pass bracketed by begin_pass()/commit_pass();
+    #: ``None`` when no pass is open.
+    in_flight: "MigrationReport | None" = None
+
+    # ------------------------------------------------------------------
+    # Pass bracketing
+    # ------------------------------------------------------------------
+    #
+    # A migration *pass* is the unit the epoch engine accounts: open it,
+    # run one or more migrate() calls, then commit (fold into ``total``)
+    # or abort (discard — the pass never happened, e.g. the epoch was
+    # cancelled mid-flight).  ``migrate()`` brackets itself when called
+    # outside a pass, so single-shot callers need no ceremony.
+
+    def begin_pass(self) -> MigrationReport:
+        """Open a migration pass; subsequent :meth:`migrate` calls
+        accumulate into it until :meth:`commit_pass` or
+        :meth:`abort_pass`."""
+        if self.in_flight is not None:
+            raise MigrationError("migration pass already in flight")
+        self.in_flight = MigrationReport()
+        return self.in_flight
+
+    def commit_pass(self) -> MigrationReport:
+        """Close the open pass and fold it into :attr:`total`."""
+        if self.in_flight is None:
+            raise MigrationError("no migration pass in flight")
+        report = self.in_flight
+        self.in_flight = None
+        self.total.merge(report)
+        return report
+
+    def abort_pass(self) -> MigrationReport:
+        """Close the open pass *without* folding it into :attr:`total`
+        (the work is discarded, as when an epoch is cancelled)."""
+        if self.in_flight is None:
+            raise MigrationError("no migration pass in flight")
+        report = self.in_flight
+        self.in_flight = None
+        return report
 
     def migrate(
         self,
@@ -134,6 +174,9 @@ class MigrationEngine:
         Rejected moves (dead extents, unmigratable types, stale targets)
         charge the walk cost only.
         """
+        owns_pass = self.in_flight is None
+        if owns_pass:
+            self.begin_pass()
         batch = batch_pages or self.default_batch_pages
         move_ns, walk_ns = self.cost_model.per_page_costs(batch)
         report = MigrationReport()
@@ -179,7 +222,9 @@ class MigrationEngine:
                 report.cost_ns += (
                     extent.pages * walk_ns * self.stall_fraction
                 )
-        self.total.merge(report)
+        self.in_flight.merge(report)
+        if owns_pass:
+            self.commit_pass()
         return report
 
     def _move_once(

@@ -1,0 +1,700 @@
+"""heteroflow: one failing + one passing fixture per analysis, plus
+interprocedural credit, baseline, suppression, SARIF, cache, and CLI
+coverage.
+
+Every fixture is a tiny project tree written under ``tmp_path`` with a
+``repro``-named root so module names resolve the same way they do for
+the real package (``core/x.py`` -> module ``core.x`` in the ``core``
+decision package).
+"""
+
+from __future__ import annotations
+
+import json
+import textwrap
+
+import pytest
+
+from repro.cli import main
+from repro.devtools.flow import (
+    Baseline,
+    BaselineEntry,
+    CORE_PROTOCOLS,
+    combined_rule_metadata,
+    deep_lint_paths,
+    deep_rule_metadata,
+    report_to_sarif,
+)
+from repro.errors import LintError
+
+
+def make_tree(tmp_path, files):
+    """Write ``files`` (relpath -> source) under a repro-named root."""
+    root = tmp_path / "proj" / "repro"
+    for relpath, source in files.items():
+        path = root / relpath
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(source), encoding="utf-8")
+    for directory in {p.parent for p in root.rglob("*.py")} | {root}:
+        init = directory / "__init__.py"
+        if not init.exists():
+            init.write_text("", encoding="utf-8")
+    return root
+
+
+def deep(tmp_path, files, rule_id=None, **kwargs):
+    kwargs.setdefault("include_shallow", False)
+    report, _index = deep_lint_paths([make_tree(tmp_path, files)], **kwargs)
+    if rule_id is None:
+        return report.findings
+    return [f for f in report.findings if f.rule_id == rule_id]
+
+
+# ----------------------------------------------------------------------
+# Dimension inference
+# ----------------------------------------------------------------------
+
+MIX_BAD = """\
+    from repro.units import Bytes, Ns
+
+    def total(latency_ns: Ns, traffic: Bytes) -> float:
+        return latency_ns + traffic
+"""
+
+MIX_GOOD = """\
+    from repro.units import Ns
+
+    def total(cpu_ns: Ns, stall_ns: Ns) -> float:
+        return cpu_ns + stall_ns
+"""
+
+
+def test_dim_mix_fires_on_ns_plus_bytes(tmp_path):
+    hits = deep(tmp_path, {"core/t.py": MIX_BAD}, rule_id="flow-dim-mix")
+    assert len(hits) == 1
+    assert "ns" in hits[0].message and "bytes" in hits[0].message
+
+
+def test_dim_mix_allows_like_dimensions(tmp_path):
+    assert not deep(tmp_path, {"core/t.py": MIX_GOOD}, rule_id="flow-dim-mix")
+
+
+def test_dim_mix_fires_on_comparison(tmp_path):
+    src = """\
+        from repro.units import Ns, Pages
+
+        def over(budget_ns: Ns, used_pages: Pages) -> bool:
+            return used_pages > budget_ns
+    """
+    assert deep(tmp_path, {"core/t.py": src}, rule_id="flow-dim-mix")
+
+
+def test_dim_arg_fires_on_pages_into_ns_parameter(tmp_path):
+    src = """\
+        from repro.units import Ns, Pages
+
+        def charge(cost_ns: Ns) -> None:
+            pass
+
+        def bad(pages: Pages) -> None:
+            charge(pages)
+    """
+    hits = deep(tmp_path, {"core/t.py": src}, rule_id="flow-dim-arg")
+    assert len(hits) == 1
+    assert "charge" in hits[0].message
+
+
+def test_dim_arg_clean_with_units_conversion(tmp_path):
+    # pages * PAGE_SIZE converts to bytes, so passing it to a Bytes
+    # parameter is exactly right.
+    src = """\
+        from repro.units import PAGE_SIZE, Bytes, Pages
+
+        def account(num_bytes: Bytes) -> None:
+            pass
+
+        def good(pages: Pages) -> None:
+            account(pages * PAGE_SIZE)
+    """
+    assert not deep(tmp_path, {"core/t.py": src}, rule_id="flow-dim-arg")
+
+
+def test_dim_return_fires_and_propagates_through_calls(tmp_path):
+    src = """\
+        from repro.units import Ns, Pages
+
+        def wrong(pages: Pages) -> Ns:
+            return pages
+    """
+    assert deep(tmp_path, {"core/t.py": src}, rule_id="flow-dim-return")
+
+
+def test_dim_assign_fires_on_name_convention_seed(tmp_path):
+    # No alias imports at all: the _ns / _pages naming convention is
+    # enough to seed both sides.
+    src = """\
+        def f(scan_pages):
+            cost_ns = scan_pages
+            return cost_ns
+    """
+    assert deep(tmp_path, {"core/t.py": src}, rule_id="flow-dim-assign")
+
+
+def test_dim_literals_are_compatible_with_everything(tmp_path):
+    src = """\
+        from repro.units import Ns
+
+        def f(cost_ns: Ns) -> float:
+            return cost_ns + 5.0
+    """
+    assert not deep(tmp_path, {"core/t.py": src})
+
+
+def test_dim_inferred_return_crosses_functions(tmp_path):
+    # helper() has no annotation; its pages return dim is inferred and
+    # the mismatch is caught at the call in the *caller*.
+    src = """\
+        from repro.units import Ns, Pages
+
+        def helper(pages: Pages):
+            return pages
+
+        def charge(cost_ns: Ns) -> None:
+            pass
+
+        def bad() -> None:
+            charge(helper(4))
+    """
+    assert deep(tmp_path, {"core/t.py": src}, rule_id="flow-dim-arg")
+
+
+# ----------------------------------------------------------------------
+# Protocol typestate
+# ----------------------------------------------------------------------
+
+SCAN_BAD = """\
+    class Scanner:
+        def scan(self, extents, tlb):
+            for extent in extents:
+                extent.clear_hardware_bits()
+"""
+
+SCAN_GOOD = """\
+    class Scanner:
+        def scan(self, extents, tlb):
+            for extent in extents:
+                extent.clear_hardware_bits()
+            tlb.flush()
+"""
+
+SCAN_HELPER = """\
+    class Scanner:
+        def scan(self, extents, tlb):
+            for extent in extents:
+                extent.clear_hardware_bits()
+            self._finish(tlb)
+
+        def _finish(self, tlb):
+            tlb.flush()
+"""
+
+
+def test_protocol_scan_fires_without_flush(tmp_path):
+    hits = deep(tmp_path, {"vmm/s.py": SCAN_BAD}, rule_id="flow-protocol-scan")
+    assert len(hits) == 1
+    assert hits[0].function.endswith("Scanner.scan")
+
+
+def test_protocol_scan_clean_with_flush(tmp_path):
+    assert not deep(
+        tmp_path, {"vmm/s.py": SCAN_GOOD}, rule_id="flow-protocol-scan"
+    )
+
+
+def test_protocol_scan_credits_helper_that_completes(tmp_path):
+    # Interprocedural: _finish() flushes, so scan() is credited.
+    assert not deep(
+        tmp_path, {"vmm/s.py": SCAN_HELPER}, rule_id="flow-protocol-scan"
+    )
+
+
+def test_protocol_migration_pairing(tmp_path):
+    src = """\
+        class Engine:
+            def bad(self):
+                self.begin_pass()
+
+            def committed(self):
+                self.begin_pass()
+                self.commit_pass()
+
+            def aborted(self):
+                self.begin_pass()
+                self.abort_pass()
+    """
+    hits = deep(
+        tmp_path, {"vmm/m.py": src}, rule_id="flow-protocol-migration"
+    )
+    assert len(hits) == 1
+    assert hits[0].function.endswith("Engine.bad")
+
+
+def test_protocol_migration_credits_closing_caller(tmp_path):
+    # The helper opens the pass; every caller closes it, so neither is
+    # reported.  A second helper nobody completes still fires.
+    src = """\
+        class Engine:
+            def start(self):
+                self.begin_pass()
+
+            def run(self):
+                self.start()
+                self.commit_pass()
+
+        class Leaky:
+            def start(self):
+                self.begin_pass()
+
+            def run(self):
+                self.start()
+    """
+    hits = deep(
+        tmp_path, {"vmm/m.py": src}, rule_id="flow-protocol-migration"
+    )
+    assert len(hits) == 1
+    assert "Leaky" in hits[0].function
+
+
+def test_protocol_balloon_hidden_span_must_be_resolved(tmp_path):
+    src = """\
+        class Backend:
+            def bad(self, kernel, domain):
+                kernel.hide_pages(0, 64)
+
+            def good(self, kernel, domain):
+                kernel.hide_pages(0, 64)
+                domain.surrender(None, 64)
+    """
+    hits = deep(
+        tmp_path, {"vmm/b.py": src}, rule_id="flow-protocol-balloon"
+    )
+    assert len(hits) == 1
+    assert hits[0].function.endswith("Backend.bad")
+
+
+def test_protocol_region_use_after_free(tmp_path):
+    src = """\
+        def bad(kernel):
+            kernel.free_region("r")
+            kernel.touch_region("r", 1.0)
+
+        def realloc_is_fine(kernel):
+            kernel.free_region("r")
+            kernel.allocate_region("r", None, 4, [0])
+            kernel.touch_region("r", 1.0)
+    """
+    hits = deep(
+        tmp_path, {"core/k.py": src}, rule_id="flow-protocol-region"
+    )
+    assert len(hits) == 1
+    assert hits[0].function.endswith("bad")
+
+
+def test_protocol_frames_touch_before_allocate(tmp_path):
+    src = """\
+        def bad(kernel):
+            kernel.touch_region("r", 1.0)
+            kernel.allocate_region("r", None, 4, [0])
+
+        def good(kernel):
+            kernel.allocate_region("r", None, 4, [0])
+            kernel.touch_region("r", 1.0)
+    """
+    hits = deep(
+        tmp_path, {"core/k.py": src}, rule_id="flow-protocol-frames"
+    )
+    assert len(hits) == 1
+    assert hits[0].function.endswith("bad")
+
+
+def test_protocol_keys_distinguish_regions(tmp_path):
+    # Freeing one region and touching a *different* one is not a
+    # use-after-free.
+    src = """\
+        def fine(kernel):
+            kernel.free_region("a")
+            kernel.touch_region("b", 1.0)
+    """
+    assert not deep(
+        tmp_path, {"core/k.py": src}, rule_id="flow-protocol-region"
+    )
+
+
+# ----------------------------------------------------------------------
+# Determinism taint
+# ----------------------------------------------------------------------
+
+
+def test_taint_direct_set_into_max(tmp_path):
+    src = """\
+        def pick(extents):
+            candidates = {e for e in extents}
+            return max(candidates)
+    """
+    assert deep(
+        tmp_path, {"core/p.py": src}, rule_id="flow-unordered-flow"
+    )
+
+
+def test_taint_flows_through_helper_return(tmp_path):
+    src = """\
+        def collect():
+            return {1, 2, 3}
+
+        def pick():
+            items = collect()
+            return max(items)
+    """
+    hits = deep(
+        tmp_path, {"vmm/p.py": src}, rule_id="flow-unordered-flow"
+    )
+    assert len(hits) == 1
+    assert hits[0].function.endswith("pick")
+
+
+def test_taint_laundered_by_sorted(tmp_path):
+    src = """\
+        def pick(extents):
+            candidates = {e for e in extents}
+            ranked = sorted(candidates)
+            return max(ranked)
+    """
+    assert not deep(
+        tmp_path, {"core/p.py": src}, rule_id="flow-unordered-flow"
+    )
+
+
+def test_taint_only_checked_in_decision_packages(tmp_path):
+    src = """\
+        def pick():
+            return max({1, 2, 3})
+    """
+    # Same code, hw/ package: not a placement decision site.
+    assert not deep(
+        tmp_path, {"hw/p.py": src}, rule_id="flow-unordered-flow"
+    )
+    assert deep(
+        tmp_path, {"core/p.py": src}, rule_id="flow-unordered-flow"
+    )
+
+
+def test_taint_does_not_double_report_shallow_lines(tmp_path):
+    # max() over a direct dict view is the shallow unordered-placement
+    # rule's finding; the deep pass must not add a second one.
+    src = """\
+        def pick(table):
+            return max(table.keys())
+    """
+    report, _index = deep_lint_paths(
+        [make_tree(tmp_path, {"core/p.py": src})], include_shallow=True
+    )
+    rule_ids = [f.rule_id for f in report.findings]
+    assert "flow-unordered-flow" not in rule_ids
+    assert "unordered-placement" in rule_ids
+
+
+# ----------------------------------------------------------------------
+# Engine: suppression, baseline, rule selection, dedup
+# ----------------------------------------------------------------------
+
+
+def test_suppression_comment_covers_deep_rules(tmp_path):
+    src = """\
+        def pick(extents):
+            candidates = {e for e in extents}
+            # heterolint: disable-next-line=flow-unordered-flow
+            return max(candidates)
+    """
+    report, _index = deep_lint_paths(
+        [make_tree(tmp_path, {"core/p.py": src})], include_shallow=False
+    )
+    assert not report.findings
+    assert any(
+        f.rule_id == "flow-unordered-flow" for f in report.suppressed
+    )
+
+
+def test_baseline_accepts_and_tracks_stale(tmp_path):
+    root = make_tree(tmp_path, {"vmm/s.py": SCAN_BAD})
+    report, _index = deep_lint_paths([root], include_shallow=False)
+    assert len(report.findings) == 1
+    baseline = Baseline.from_findings(report.findings, justification="ok")
+    baseline.entries.append(
+        BaselineEntry(
+            rule="flow-dim-mix", path="gone.py", function="f", message="m"
+        )
+    )
+    filtered, _index = deep_lint_paths(
+        [root], include_shallow=False, baseline=baseline
+    )
+    assert not filtered.findings
+    stale = baseline.stale_entries()
+    assert len(stale) == 1 and stale[0].path == "gone.py"
+
+
+def test_baseline_round_trips_through_json(tmp_path):
+    baseline = Baseline(
+        entries=[
+            BaselineEntry(
+                rule="flow-protocol-scan",
+                path="src/repro/vmm/s.py",
+                function="vmm.s.Scanner.scan",
+                message="msg",
+                justification="because",
+            )
+        ]
+    )
+    target = tmp_path / "base.json"
+    baseline.save(target)
+    loaded = Baseline.load(target)
+    assert loaded.entries == baseline.entries
+    with pytest.raises(LintError):
+        Baseline.load(tmp_path / "missing.json")
+
+
+def test_rule_ids_select_only_named_deep_rules(tmp_path):
+    files = {"core/t.py": MIX_BAD, "vmm/s.py": SCAN_BAD}
+    only_scan = deep(tmp_path, files, rule_ids=["flow-protocol-scan"])
+    assert {f.rule_id for f in only_scan} == {"flow-protocol-scan"}
+
+
+def test_unknown_rule_id_is_an_error(tmp_path):
+    with pytest.raises(LintError):
+        deep(tmp_path, {"core/t.py": MIX_BAD}, rule_ids=["flow-bogus"])
+
+
+def test_deep_findings_carry_function_anchor(tmp_path):
+    hits = deep(tmp_path, {"core/t.py": MIX_BAD})
+    assert hits and all(f.function for f in hits)
+    assert hits[0].function == "core.t.total"
+
+
+def test_deep_rule_metadata_covers_all_protocols():
+    metadata = deep_rule_metadata()
+    for spec in CORE_PROTOCOLS:
+        assert spec.protocol_id in metadata
+    assert all(rule.startswith("flow-") for rule in metadata)
+
+
+# ----------------------------------------------------------------------
+# AST cache
+# ----------------------------------------------------------------------
+
+
+def test_cache_round_trip_preserves_findings(tmp_path):
+    root = make_tree(tmp_path, {"core/t.py": MIX_BAD, "vmm/s.py": SCAN_BAD})
+    cache_dir = tmp_path / "cache"
+    cold, _ = deep_lint_paths([root], cache_dir=cache_dir)
+    assert (
+        len(list(cache_dir.glob("heteroflow-ast-*.pickle"))) == 1
+    )
+    warm, _ = deep_lint_paths([root], cache_dir=cache_dir)
+    key = lambda f: (f.path, f.line, f.col, f.rule_id, f.message)
+    assert sorted(map(key, warm.findings)) == sorted(map(key, cold.findings))
+
+
+def test_cache_invalidated_by_source_change(tmp_path):
+    root = make_tree(tmp_path, {"core/t.py": MIX_BAD})
+    cache_dir = tmp_path / "cache"
+    first, _ = deep_lint_paths([root], cache_dir=cache_dir)
+    assert first.findings
+    (root / "core" / "t.py").write_text(
+        textwrap.dedent(MIX_GOOD), encoding="utf-8"
+    )
+    second, _ = deep_lint_paths([root], cache_dir=cache_dir)
+    assert not second.findings
+
+
+def test_corrupt_cache_degrades_gracefully(tmp_path):
+    root = make_tree(tmp_path, {"core/t.py": MIX_BAD})
+    cache_dir = tmp_path / "cache"
+    cache_dir.mkdir()
+    for tag in cache_dir.glob("*"):
+        tag.unlink()
+    deep_lint_paths([root], cache_dir=cache_dir)
+    for pickle_file in cache_dir.glob("heteroflow-ast-*.pickle"):
+        pickle_file.write_bytes(b"not a pickle")
+    report, _ = deep_lint_paths([root], cache_dir=cache_dir)
+    assert report.findings  # analysis still ran
+
+
+# ----------------------------------------------------------------------
+# SARIF
+# ----------------------------------------------------------------------
+
+# Trimmed SARIF 2.1.0 schema: the structural subset GitHub code
+# scanning actually validates (sarifLog -> runs -> tool/results ->
+# locations), kept offline so the test needs no network.
+SARIF_SCHEMA = {
+    "type": "object",
+    "required": ["version", "runs"],
+    "properties": {
+        "version": {"enum": ["2.1.0"]},
+        "$schema": {"type": "string"},
+        "runs": {
+            "type": "array",
+            "items": {
+                "type": "object",
+                "required": ["tool", "results"],
+                "properties": {
+                    "tool": {
+                        "type": "object",
+                        "required": ["driver"],
+                        "properties": {
+                            "driver": {
+                                "type": "object",
+                                "required": ["name"],
+                                "properties": {
+                                    "name": {"type": "string"},
+                                    "rules": {
+                                        "type": "array",
+                                        "items": {
+                                            "type": "object",
+                                            "required": ["id"],
+                                        },
+                                    },
+                                },
+                            }
+                        },
+                    },
+                    "results": {
+                        "type": "array",
+                        "items": {
+                            "type": "object",
+                            "required": ["message"],
+                            "properties": {
+                                "ruleId": {"type": "string"},
+                                "ruleIndex": {
+                                    "type": "integer", "minimum": 0
+                                },
+                                "level": {
+                                    "enum": [
+                                        "none", "note", "warning", "error"
+                                    ]
+                                },
+                                "message": {
+                                    "type": "object",
+                                    "required": ["text"],
+                                },
+                                "locations": {
+                                    "type": "array",
+                                    "items": {
+                                        "type": "object",
+                                        "properties": {
+                                            "physicalLocation": {
+                                                "type": "object",
+                                                "properties": {
+                                                    "region": {
+                                                        "type": "object",
+                                                        "properties": {
+                                                            "startLine": {
+                                                                "type": "integer",
+                                                                "minimum": 1,
+                                                            },
+                                                            "startColumn": {
+                                                                "type": "integer",
+                                                                "minimum": 1,
+                                                            },
+                                                        },
+                                                    }
+                                                },
+                                            }
+                                        },
+                                    },
+                                },
+                            },
+                        },
+                    },
+                },
+            },
+        },
+    },
+}
+
+
+def _validate_sarif(payload):
+    jsonschema = pytest.importorskip("jsonschema")
+    jsonschema.validate(payload, SARIF_SCHEMA)
+
+
+def test_sarif_output_validates_and_splits_tools(tmp_path):
+    files = {
+        "core/t.py": MIX_BAD,  # deep finding -> heteroflow run
+        "core/magic.py": "x = 4096\n",  # shallow finding -> heterolint run
+    }
+    report, _index = deep_lint_paths(
+        [make_tree(tmp_path, files)], include_shallow=True
+    )
+    payload = report_to_sarif(report, combined_rule_metadata())
+    _validate_sarif(payload)
+    tool_names = {
+        run["tool"]["driver"]["name"] for run in payload["runs"]
+    }
+    assert tool_names == {"heterolint", "heteroflow"}
+    for run in payload["runs"]:
+        rules = [r["id"] for r in run["tool"]["driver"]["rules"]]
+        for result in run["results"]:
+            assert rules[result["ruleIndex"]] == result["ruleId"]
+
+
+def test_sarif_clean_report_is_still_valid(tmp_path):
+    report, _index = deep_lint_paths(
+        [make_tree(tmp_path, {"core/ok.py": "x = 1\n"})]
+    )
+    payload = report_to_sarif(report)
+    _validate_sarif(payload)
+    assert payload["runs"][0]["results"] == []
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+
+
+def test_cli_deep_lint_and_sarif(tmp_path, capsys, monkeypatch):
+    monkeypatch.chdir(tmp_path)  # no repo baseline auto-load
+    root = make_tree(tmp_path, {"vmm/s.py": SCAN_BAD})
+    assert main(["lint", "--deep", str(root)]) == 1
+    assert "flow-protocol-scan" in capsys.readouterr().out
+
+    assert main(["lint", "--deep", "--format", "sarif", str(root)]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    _validate_sarif(payload)
+    assert payload["runs"]
+
+
+def test_cli_write_baseline_then_clean(tmp_path, capsys, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    root = make_tree(tmp_path, {"vmm/s.py": SCAN_BAD})
+    target = tmp_path / "base.json"
+    assert (
+        main(
+            [
+                "lint", "--deep", "--write-baseline",
+                "--baseline", str(target), str(root),
+            ]
+        )
+        == 0
+    )
+    capsys.readouterr()
+    assert target.exists()
+    assert (
+        main(["lint", "--deep", "--baseline", str(target), str(root)]) == 0
+    )
+
+
+def test_cli_list_rules_includes_deep(capsys):
+    assert main(["lint", "--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule_id in deep_rule_metadata():
+        assert rule_id in out
