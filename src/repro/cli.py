@@ -9,6 +9,8 @@ Usage::
     python -m repro figure all               # regenerate everything
     python -m repro lint src/repro           # heterolint static analysis
     python -m repro sanitize-check           # frame-sanitizer smoke run
+    python -m repro sweep --workers 4 --cache-dir .sweep-cache \
+        --apps graphchi redis --policies hetero-lru heap-od
 
 The ``figure`` subcommand accepts ``table1 table3 table4 table5 table6
 fig1 fig2 fig3 fig4 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13`` or
@@ -224,14 +226,48 @@ def cmd_sanitize_check(args: argparse.Namespace) -> int:
 
 
 def cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.errors import SweepError
     from repro.experiments.sweep import sweep
+    from repro.sim import parallel
 
-    rows = sweep(
-        apps=tuple(args.apps) if args.apps else tuple(available_workloads()),
-        policies=tuple(args.policies),
-        ratios=tuple(args.ratios),
-        epochs=args.epochs,
-    )
+    cache = None
+    if not args.no_cache:
+        cache = (
+            parallel.ResultCache(args.cache_dir)
+            if args.cache_dir
+            else parallel.default_cache()
+        )
+
+    def progress(outcome, done, total):
+        status = (
+            "ok" if outcome.ok else f"{outcome.error.kind}!"
+        )
+        print(
+            f"[{done}/{total}] {outcome.spec.label:<44} "
+            f"{outcome.source:<8} {outcome.elapsed_sec:6.2f}s  {status}",
+            file=sys.stderr,
+        )
+
+    try:
+        rows = sweep(
+            apps=tuple(args.apps) if args.apps else tuple(available_workloads()),
+            policies=tuple(args.policies),
+            ratios=tuple(args.ratios),
+            epochs=args.epochs,
+            max_workers=args.workers,
+            cache=cache,
+            timeout_sec=args.timeout,
+            progress=progress if not args.quiet else None,
+        )
+    except SweepError as exc:
+        print(f"repro sweep: {exc}", file=sys.stderr)
+        return 1
+    if cache is not None and not args.quiet:
+        print(
+            f"cache: {cache.hits} hit(s), {cache.misses} miss(es) "
+            f"in {cache.directory}",
+            file=sys.stderr,
+        )
     print(report.format_table(rows, title="sweep"))
     return 0
 
@@ -330,7 +366,8 @@ def build_parser() -> argparse.ArgumentParser:
     sanitize_parser.set_defaults(func=cmd_sanitize_check)
 
     sweep_parser = sub.add_parser(
-        "sweep", help="grid-sweep apps x policies x ratios"
+        "sweep",
+        help="grid-sweep apps x policies x ratios (parallel + cached)",
     )
     sweep_parser.add_argument("--apps", nargs="+", default=None)
     sweep_parser.add_argument(
@@ -340,6 +377,28 @@ def build_parser() -> argparse.ArgumentParser:
         "--ratios", nargs="+", type=float, default=[0.25]
     )
     sweep_parser.add_argument("--epochs", type=int, default=None)
+    sweep_parser.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes (1 = in-process serial; results are "
+        "bit-identical either way)",
+    )
+    sweep_parser.add_argument(
+        "--cache-dir", default=None,
+        help="on-disk result cache directory (default: "
+        "$REPRO_SWEEP_CACHE_DIR when set, else no cache)",
+    )
+    sweep_parser.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the result cache even if configured",
+    )
+    sweep_parser.add_argument(
+        "--timeout", type=float, default=None,
+        help="per-grid-point wall-clock budget in seconds",
+    )
+    sweep_parser.add_argument(
+        "--quiet", action="store_true",
+        help="suppress per-spec progress lines on stderr",
+    )
     sweep_parser.set_defaults(func=cmd_sweep)
     return parser
 

@@ -44,6 +44,10 @@ class SharingError(ReproError):
     """Multi-VM resource sharing (max-min / DRF) invariant violation."""
 
 
+class SweepError(ReproError):
+    """Parallel/cached experiment execution failed (repro.sim.parallel)."""
+
+
 class DevtoolsError(ReproError):
     """Base class for the static-analysis / sanitizer tooling."""
 

@@ -8,7 +8,7 @@ normalised to fractions, plus the total in millions.
 from __future__ import annotations
 
 from repro.mem.extent import PageType
-from repro.sim.runner import run_experiment
+from repro.sim.parallel import run_cached
 
 #: Figure 4's application order (left to right).
 FIG4_APPS: tuple[str, ...] = ("redis", "xstream", "graphchi", "metis", "leveldb")
@@ -29,7 +29,7 @@ def run_fig4(
     """Page-type fractions + total pages (millions) per application."""
     rows = []
     for app in apps:
-        result = run_experiment(app, "heap-io-slab-od", epochs=epochs)
+        result = run_cached(app, "heap-io-slab-od", epochs=epochs)
         total = result.total_pages_allocated
         row: dict = {"app": app}
         for label, page_types in FIG4_CLASSES:

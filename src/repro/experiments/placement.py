@@ -10,9 +10,7 @@ NGinx is excluded as in the paper (<10% heterogeneity impact).
 
 from __future__ import annotations
 
-from functools import lru_cache
-
-from repro.sim.runner import run_experiment
+from repro.sim.parallel import ExperimentSpec, clear_memo, make_spec, run_cached
 from repro.sim.stats import RunResult, gain_percent
 from repro.workloads.registry import PLACEMENT_APPS
 
@@ -27,11 +25,40 @@ FIG9_POLICIES: tuple[str, ...] = (
 FIG9_RATIOS: tuple[float, ...] = (1 / 2, 1 / 4, 1 / 8)
 
 
-@lru_cache(maxsize=None)
+def fig9_grid_specs(
+    apps: tuple[str, ...] = PLACEMENT_APPS,
+    ratios: tuple[float, ...] = FIG9_RATIOS,
+    policies: tuple[str, ...] = FIG9_POLICIES,
+    epochs: int | None = None,
+) -> list[ExperimentSpec]:
+    """Figure 9's full grid (baselines included) as hashable specs.
+
+    This is the same set of runs :func:`run_fig9` performs, expressed
+    for :func:`repro.sim.parallel.run_specs` — the benchmark harness
+    fans it out across workers and the result cache; the spec fields
+    match :func:`_cached_run`'s calls exactly, so both paths share
+    cache keys.
+    """
+    specs = []
+    for app in apps:
+        specs.append(make_spec(app, "slowmem-only", fast_ratio=1 / 4,
+                               epochs=epochs))
+        specs.append(make_spec(app, "fastmem-only", fast_ratio=1 / 4,
+                               epochs=epochs))
+        for ratio in ratios:
+            for policy in policies:
+                specs.append(
+                    make_spec(app, policy, fast_ratio=ratio, epochs=epochs)
+                )
+    return specs
+
+
 def _cached_run(
     app: str, policy: str, ratio: float, epochs: int | None
 ) -> RunResult:
-    return run_experiment(app, policy, fast_ratio=ratio, epochs=epochs)
+    """One grid point through the shared process-wide memo, so Figure 10
+    reuses Figure 9's runs (and any other driver's matching points)."""
+    return run_cached(app, policy, fast_ratio=ratio, epochs=epochs)
 
 
 def run_fig9(
@@ -74,4 +101,4 @@ def run_fig10(
 
 def clear_cache() -> None:
     """Drop memoized runs (used between benchmark sessions)."""
-    _cached_run.cache_clear()
+    clear_memo()

@@ -12,8 +12,7 @@
 from __future__ import annotations
 
 from repro.hw.throttle import FIGURE1_SWEEP, ThrottleConfig
-from repro.hw.topology import remote_dram
-from repro.sim.runner import run_experiment
+from repro.sim.parallel import run_cached
 from repro.sim.stats import slowdown_factor
 from repro.workloads.registry import ALL_APPS
 
@@ -22,7 +21,7 @@ def run_table4(apps: tuple[str, ...] = ALL_APPS, epochs: int = 60) -> list[dict]
     """Table 4: MPKI per application (16 MB LLC, all-FastMem)."""
     rows = []
     for app in apps:
-        result = run_experiment(app, "fastmem-only", epochs=epochs)
+        result = run_cached(app, "fastmem-only", epochs=epochs)
         rows.append({"app": app, "mpki": result.mpki})
     return rows
 
@@ -42,19 +41,19 @@ def run_fig1(
     """
     rows = []
     for app in apps:
-        fast = run_experiment(app, "fastmem-only", llc_mib=llc_mib, epochs=epochs)
+        fast = run_cached(app, "fastmem-only", llc_mib=llc_mib, epochs=epochs)
         row: dict = {"app": app}
         for config in sweep:
-            slow = run_experiment(
+            slow = run_cached(
                 app, "slowmem-only", throttle=config, llc_mib=llc_mib,
                 epochs=epochs,
             )
             row[config.label] = slowdown_factor(slow, fast)
         if include_remote_numa:
-            remote = run_experiment(
+            remote = run_cached(
                 app,
                 "slowmem-only",
-                slow_device=remote_dram(),
+                slow_device="remote-dram",
                 llc_mib=llc_mib,
                 epochs=epochs,
             )
@@ -85,10 +84,10 @@ def run_fig3(
     """
     rows = []
     for app in apps:
-        fast = run_experiment(app, "fastmem-only", epochs=epochs)
+        fast = run_cached(app, "fastmem-only", epochs=epochs)
         row: dict = {"app": app}
         for ratio in ratios:
-            result = run_experiment(
+            result = run_cached(
                 app, "heap-io-slab-od", fast_ratio=ratio, epochs=epochs
             )
             row[f"1/{round(1 / ratio)}"] = slowdown_factor(result, fast)

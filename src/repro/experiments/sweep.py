@@ -5,6 +5,12 @@ ones.  :func:`sweep` runs the cartesian product of applications ×
 policies × FastMem ratios × throttle settings and returns flat rows —
 the helper behind the CLI's ``sweep`` subcommand and Table 2's
 measured-metric reproduction.
+
+Execution goes through :mod:`repro.sim.parallel`: the grid expands into
+:class:`~repro.sim.parallel.ExperimentSpec`\\ s, duplicates collapse,
+cached points skip simulation, and ``max_workers > 1`` fans the misses
+out across worker processes — with results bit-identical to the serial
+path (the engine is deterministic from ``SimConfig.seed``).
 """
 
 from __future__ import annotations
@@ -12,9 +18,17 @@ from __future__ import annotations
 from typing import Sequence
 
 from repro.hw.throttle import DEFAULT_SLOWMEM, ThrottleConfig
-from repro.sim.runner import run_experiment
+from repro.sim.parallel import (
+    ExperimentSpec,
+    ProgressFn,
+    ResultCache,
+    make_spec,
+    results_or_raise,
+    run_cached,
+    run_specs,
+)
 from repro.sim.stats import gain_percent
-from repro.workloads.registry import ALL_APPS, make_workload
+from repro.workloads.registry import ALL_APPS
 
 #: Table 2's application descriptions (for the table reproduction).
 TABLE2_DESCRIPTIONS: dict[str, tuple[str, str]] = {
@@ -51,7 +65,7 @@ def run_table2(epochs: int | None = None) -> list[dict]:
     rows = []
     for app in ALL_APPS:
         description, metric = TABLE2_DESCRIPTIONS[app]
-        result = run_experiment(
+        result = run_cached(
             app, "hetero-coordinated", fast_ratio=0.25, epochs=epochs
         )
         rows.append(
@@ -69,6 +83,42 @@ def run_table2(epochs: int | None = None) -> list[dict]:
     return rows
 
 
+def expand_grid(
+    apps: Sequence[str],
+    policies: Sequence[str],
+    ratios: Sequence[float],
+    throttles: Sequence[ThrottleConfig] = (DEFAULT_SLOWMEM,),
+    epochs: int | None = None,
+    baseline_policy: str = "slowmem-only",
+    seed: int = 7,
+) -> list[ExperimentSpec]:
+    """Expand a sweep grid into specs, baselines included, in row order.
+
+    Each (throttle, ratio, app) group leads with its baseline spec so a
+    chunked parallel run simulates baselines early; duplicates (e.g.
+    ``baseline_policy`` also listed in ``policies``) are collapsed by
+    :func:`~repro.sim.parallel.run_specs` itself.
+    """
+    specs = []
+    for throttle in throttles:
+        for ratio in ratios:
+            for app in apps:
+                specs.append(
+                    make_spec(
+                        app, baseline_policy, fast_ratio=ratio,
+                        throttle=throttle, epochs=epochs, seed=seed,
+                    )
+                )
+                for policy in policies:
+                    specs.append(
+                        make_spec(
+                            app, policy, fast_ratio=ratio,
+                            throttle=throttle, epochs=epochs, seed=seed,
+                        )
+                    )
+    return specs
+
+
 def sweep(
     apps: Sequence[str] = ALL_APPS,
     policies: Sequence[str] = ("hetero-lru",),
@@ -76,26 +126,38 @@ def sweep(
     throttles: Sequence[ThrottleConfig] = (DEFAULT_SLOWMEM,),
     epochs: int | None = None,
     baseline_policy: str = "slowmem-only",
+    max_workers: int | None = 1,
+    cache: ResultCache | str | None = None,
+    timeout_sec: float | None = None,
+    progress: ProgressFn | None = None,
 ) -> list[dict]:
     """Run the full grid; each row carries runtime, metric, and gain
-    over the same-platform baseline."""
+    over the same-platform baseline.
+
+    ``max_workers``/``cache``/``timeout_sec``/``progress`` pass through
+    to :func:`repro.sim.parallel.run_specs`; the defaults (serial, no
+    cache) reproduce the historical behaviour exactly.  Any failed grid
+    point raises :class:`~repro.errors.SweepError` with the structured
+    per-spec failures in its message.
+    """
+    specs = expand_grid(
+        apps, policies, ratios, throttles, epochs, baseline_policy
+    )
+    outcomes = run_specs(
+        specs,
+        max_workers=max_workers,
+        cache=cache,
+        timeout_sec=timeout_sec,
+        progress=progress,
+    )
+    results = iter(results_or_raise(outcomes))
     rows = []
     for throttle in throttles:
         for ratio in ratios:
             for app in apps:
-                baseline = run_experiment(
-                    app, baseline_policy, fast_ratio=ratio,
-                    throttle=throttle, epochs=epochs,
-                )
+                baseline = next(results)
                 for policy in policies:
-                    result = (
-                        baseline
-                        if policy == baseline_policy
-                        else run_experiment(
-                            app, policy, fast_ratio=ratio,
-                            throttle=throttle, epochs=epochs,
-                        )
-                    )
+                    result = next(results)
                     rows.append(
                         {
                             "app": app,

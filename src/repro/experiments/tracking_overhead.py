@@ -10,19 +10,19 @@ migrated (millions).
 The paper's HeteroVisor classifies hotness from raw access bits with no
 density filtering or observation history, which is why it migrates
 millions of pages; the sweep here configures the tracker the same way.
+
+Every configuration — tracker parameters included — is expressed as an
+:class:`~repro.sim.parallel.ExperimentSpec` (``policy_args`` carry the
+scan/migrate knobs, ``hotness`` the tracker config), so the sweep's runs
+memoize and cache like any other grid point; the scan/migration costs
+are read back from the :class:`~repro.sim.stats.RunResult`.
 """
 
 from __future__ import annotations
 
-import dataclasses
-
-from repro.sim.runner import build_config
-from repro.sim.engine import SimulationEngine
-from repro.core.baselines import VmmExclusivePolicy
-from repro.core.policy import make_policy
 from repro.hw.throttle import ThrottleConfig
+from repro.sim.parallel import run_cached
 from repro.vmm.hotness import HotnessConfig
-from repro.workloads.registry import make_workload
 
 #: HeteroVisor-faithful tracker: hair-trigger classification and the full
 #: virtualized scan cost (validity checks + forced TLB invalidations make
@@ -34,6 +34,11 @@ HETEROVISOR_TRACKER = HotnessConfig(
     min_observations=1,
 )
 
+#: HeteroVisor's per-interval page-move rate: a few thousand pages per
+#: 100 ms interval, far below the scan batch, which is why the paper
+#: finds tracking costlier than migration.
+_MIGRATE_BUDGET_PAGES = 2048
+
 
 def run_fig8(
     app: str = "graphchi",
@@ -42,43 +47,42 @@ def run_fig8(
 ) -> list[dict]:
     """Overhead (%) and pages migrated vs. scan interval (1 epoch=100ms)."""
     # No SlowMem emulation: both tiers are plain DRAM (L:1,B:1).
-    def config():
-        return build_config(
-            fast_ratio=0.25, throttle=ThrottleConfig(1, 1),
-        )
-
-    baseline = SimulationEngine(
-        config(), make_workload(app), make_policy("slowmem-only")
-    ).run(epochs)
+    no_emulation = ThrottleConfig(1, 1)
+    baseline = run_cached(
+        app, "slowmem-only", fast_ratio=0.25, throttle=no_emulation,
+        epochs=epochs,
+    )
     rows = []
     for interval in interval_epochs:
-        cfg = dataclasses.replace(config(), hotness_config=HETEROVISOR_TRACKER)
-        policy = VmmExclusivePolicy(
-            scan_interval_epochs=interval,
-            scan_batch_pages=HETEROVISOR_TRACKER.scan_batch_pages,
-            # HeteroVisor's per-interval page-move rate: a few thousand
-            # pages per 100 ms interval, far below the scan batch, which
-            # is why the paper finds tracking costlier than migration.
-            migrate_budget_pages=2048,
+        result = run_cached(
+            app,
+            "vmm-exclusive",
+            fast_ratio=0.25,
+            throttle=no_emulation,
+            epochs=epochs,
+            policy_args={
+                "scan_interval_epochs": interval,
+                "scan_batch_pages": HETEROVISOR_TRACKER.scan_batch_pages,
+                "migrate_budget_pages": _MIGRATE_BUDGET_PAGES,
+            },
+            hotness=HETEROVISOR_TRACKER,
         )
-        engine = SimulationEngine(cfg, make_workload(app), policy)
-        result = engine.run(epochs)
-        tracked_cost_ns = policy.scan_cost_ns + policy.migration_cost_ns
+        tracked_cost_ns = result.scan_cost_ns + result.migration_cost_ns
         rows.append(
             {
                 "interval_ms": interval * 100,
                 "tracking_overhead_pct": (
-                    100.0 * policy.scan_cost_ns / baseline.stats.runtime_ns
+                    100.0 * result.scan_cost_ns / baseline.stats.runtime_ns
                 ),
                 "migration_overhead_pct": (
                     100.0
-                    * policy.migration_cost_ns
+                    * result.migration_cost_ns
                     / baseline.stats.runtime_ns
                 ),
                 "total_overhead_pct": (
                     100.0 * tracked_cost_ns / baseline.stats.runtime_ns
                 ),
-                "pages_migrated_millions": policy.pages_migrated / 1e6,
+                "pages_migrated_millions": result.pages_migrated / 1e6,
             }
         )
     return rows

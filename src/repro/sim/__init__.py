@@ -1,9 +1,22 @@
-"""Simulation engines: single-VM epoch loop, multi-VM sharing, runner API."""
+"""Simulation engines: single-VM epoch loop, multi-VM sharing, runner
+API, and the parallel/cached experiment execution layer."""
 
 from repro.sim.stats import RunResult, RunStats, gain_percent, slowdown_factor
 from repro.sim.engine import SimulationEngine, build_custom_vm, build_single_vm
 from repro.sim.runner import run_experiment
 from repro.sim.multi_vm import MultiVmSimulation, VmSpec
+from repro.sim.parallel import (
+    ExperimentSpec,
+    ResultCache,
+    SpecFailure,
+    SpecOutcome,
+    make_spec,
+    results_or_raise,
+    run_cached,
+    run_spec,
+    run_specs,
+    source_fingerprint,
+)
 from repro.sim.trace import (
     TraceWorkload,
     load_trace,
@@ -20,6 +33,16 @@ __all__ = [
     "build_single_vm",
     "build_custom_vm",
     "run_experiment",
+    "ExperimentSpec",
+    "ResultCache",
+    "SpecFailure",
+    "SpecOutcome",
+    "make_spec",
+    "results_or_raise",
+    "run_cached",
+    "run_spec",
+    "run_specs",
+    "source_fingerprint",
     "MultiVmSimulation",
     "VmSpec",
     "TraceWorkload",

@@ -1,0 +1,735 @@
+"""Parallel, cached experiment execution.
+
+Every figure/table driver runs a (workload x policy x platform) grid,
+and many grid points recur across drivers — ``fastmem-only`` at the
+default platform alone is re-simulated by Table 4, Figure 1, and
+Figure 3.  This module makes the grid the unit of work:
+
+* :class:`ExperimentSpec` — a frozen, hashable description of one run
+  (everything :func:`repro.sim.runner.run_experiment` needs).  Its
+  :meth:`~ExperimentSpec.cache_key` is a SHA-256 over the spec's
+  canonical JSON plus a fingerprint of the simulator source tree, so a
+  cached result can never outlive the code that produced it (the same
+  invalidation approach as ``repro.devtools.flow.cache``).
+* :class:`ResultCache` — an on-disk memo of pickled
+  :class:`~repro.sim.stats.RunResult` payloads, one file per cache key.
+  Corrupt or stale entries degrade to misses, never errors.
+* :func:`run_specs` — fans specs out across worker processes via
+  :class:`concurrent.futures.ProcessPoolExecutor` with chunked
+  scheduling and a per-spec timeout enforced *inside* the worker
+  (``SIGALRM``), falling back to in-process serial execution when
+  ``max_workers=1`` or the platform cannot fork.  Worker crashes and
+  timeouts surface as structured :class:`SpecFailure`\\ s on the
+  returned :class:`SpecOutcome`\\ s — a sweep never hangs and never
+  loses the rest of the grid.
+* :func:`run_cached` — the in-process memoized entry point the
+  experiment drivers share, layered over the same spec/cache machinery
+  (set ``REPRO_SWEEP_CACHE_DIR`` to persist across processes).
+
+Determinism contract: the engine derives all randomness from
+``SimConfig.seed``, so one spec produces a bit-identical
+:class:`RunResult` whether it ran serially, in a worker process, or
+came back from the cache.  ``tests/test_parallel_runner.py`` asserts
+that equivalence field-by-field for every registered policy.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import pickle
+import signal
+import threading
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import as_completed
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Iterable, Mapping, Optional, Sequence
+
+from repro.core.policy import make_policy
+from repro.errors import ReproError, SweepError
+from repro.hw.throttle import ThrottleConfig
+from repro.hw.topology import remote_dram
+from repro.sim.runner import build_config, run_experiment
+from repro.sim.stats import RunResult
+from repro.vmm.hotness import HotnessConfig
+
+__all__ = [
+    "ExperimentSpec",
+    "ResultCache",
+    "SpecFailure",
+    "SpecOutcome",
+    "clear_memo",
+    "default_cache",
+    "make_spec",
+    "results_or_raise",
+    "run_cached",
+    "run_spec",
+    "run_specs",
+    "source_fingerprint",
+]
+
+#: Environment variable naming a shared on-disk result-cache directory
+#: (used by CI and the benchmark harness; absent means no disk cache).
+CACHE_DIR_ENV = "REPRO_SWEEP_CACHE_DIR"
+
+#: Named SlowMem device presets a spec may reference (device objects
+#: themselves are not part of a spec so that specs stay hashable and
+#: their canonical form stays JSON-serializable).
+_DEVICE_PRESETS: "dict[str, Callable[[], object]]" = {
+    "remote-dram": remote_dram,
+}
+
+
+# ----------------------------------------------------------------------
+# Spec
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One hashable grid point: everything needed to reproduce a run.
+
+    ``throttle`` is a plain ``(latency_factor, bandwidth_factor)`` tuple
+    (``None`` means the platform default), ``slow_device`` names a
+    preset from :data:`_DEVICE_PRESETS`, ``policy_args`` are extra
+    keyword arguments for :func:`~repro.core.policy.make_policy`, and
+    ``hotness`` holds :class:`~repro.vmm.hotness.HotnessConfig` fields —
+    all as sorted tuples so the spec hashes and serializes canonically.
+    Build instances through :func:`make_spec`, which normalizes richer
+    argument types down to this form.
+    """
+
+    app: str
+    policy: str
+    fast_ratio: float = 0.25
+    epochs: "int | None" = None
+    slow_gib: float = 8.0
+    throttle: "tuple[float, float] | None" = None
+    llc_mib: int = 16
+    seed: int = 7
+    slow_device: "str | None" = None
+    policy_args: "tuple[tuple[str, object], ...]" = ()
+    hotness: "tuple[tuple[str, object], ...] | None" = None
+
+    def canonical(self) -> dict:
+        """A JSON-safe ordered mapping; the hashing input."""
+        return {
+            "app": self.app,
+            "policy": self.policy,
+            "fast_ratio": self.fast_ratio,
+            "epochs": self.epochs,
+            "slow_gib": self.slow_gib,
+            "throttle": list(self.throttle) if self.throttle else None,
+            "llc_mib": self.llc_mib,
+            "seed": self.seed,
+            "slow_device": self.slow_device,
+            "policy_args": [list(item) for item in self.policy_args],
+            "hotness": (
+                [list(item) for item in self.hotness]
+                if self.hotness is not None
+                else None
+            ),
+        }
+
+    def cache_key(self, fingerprint: str) -> str:
+        """SHA-256 over the canonical spec + simulator source tree."""
+        payload = json.dumps(
+            self.canonical(), sort_keys=True, separators=(",", ":")
+        )
+        digest = hashlib.sha256()
+        digest.update(payload.encode("utf-8"))
+        digest.update(fingerprint.encode("utf-8"))
+        return digest.hexdigest()
+
+    @property
+    def label(self) -> str:
+        """Compact one-line description for progress output."""
+        parts = [f"{self.app}/{self.policy}", f"r={self.fast_ratio:g}"]
+        if self.throttle is not None:
+            parts.append(ThrottleConfig(*self.throttle).label)
+        if self.llc_mib != 16:
+            parts.append(f"llc={self.llc_mib}M")
+        if self.slow_device is not None:
+            parts.append(self.slow_device)
+        if self.epochs is not None:
+            parts.append(f"e={self.epochs}")
+        return " ".join(parts)
+
+
+def _normalize_mapping(
+    value: "Mapping | Sequence | None",
+) -> "tuple[tuple[str, object], ...]":
+    if not value:
+        return ()
+    items = value.items() if isinstance(value, Mapping) else value
+    return tuple(sorted((str(key), val) for key, val in items))
+
+
+def make_spec(
+    app: str,
+    policy: str,
+    fast_ratio: float = 0.25,
+    epochs: "int | None" = None,
+    slow_gib: float = 8.0,
+    throttle: "tuple[float, float] | ThrottleConfig | None" = None,
+    llc_mib: int = 16,
+    seed: int = 7,
+    slow_device: "str | None" = None,
+    policy_args: "Mapping | None" = None,
+    hotness: "HotnessConfig | Mapping | None" = None,
+) -> ExperimentSpec:
+    """Build a canonical :class:`ExperimentSpec` from rich argument types."""
+    if isinstance(throttle, ThrottleConfig):
+        throttle = (throttle.latency_factor, throttle.bandwidth_factor)
+    elif throttle is not None:
+        throttle = (float(throttle[0]), float(throttle[1]))
+    if isinstance(hotness, HotnessConfig):
+        hotness = dataclasses.asdict(hotness)
+    if slow_device is not None and slow_device not in _DEVICE_PRESETS:
+        raise SweepError(
+            f"unknown slow-device preset {slow_device!r}; "
+            f"available: {sorted(_DEVICE_PRESETS)}"
+        )
+    return ExperimentSpec(
+        app=app,
+        policy=policy,
+        fast_ratio=float(fast_ratio),
+        epochs=epochs,
+        slow_gib=float(slow_gib),
+        throttle=throttle,
+        llc_mib=int(llc_mib),
+        seed=int(seed),
+        slow_device=slow_device,
+        policy_args=_normalize_mapping(policy_args),
+        hotness=(
+            _normalize_mapping(hotness) if hotness is not None else None
+        ),
+    )
+
+
+def run_spec(spec: ExperimentSpec) -> RunResult:
+    """Execute one spec; the single simulation path every mode shares."""
+    policy = make_policy(spec.policy, **dict(spec.policy_args))
+    device = None
+    if spec.slow_device is not None:
+        try:
+            factory = _DEVICE_PRESETS[spec.slow_device]
+        except KeyError:
+            raise SweepError(
+                f"unknown slow-device preset {spec.slow_device!r}"
+            ) from None
+        device = factory()
+    config = build_config(
+        fast_ratio=spec.fast_ratio,
+        slow_gib=spec.slow_gib,
+        throttle=spec.throttle,
+        llc_mib=spec.llc_mib,
+        slow_device=device,
+        unlimited_fast=policy.requires_unlimited_fast,
+        seed=spec.seed,
+    )
+    if spec.hotness is not None:
+        config.hotness_config = HotnessConfig(**dict(spec.hotness))
+    return run_experiment(spec.app, policy, epochs=spec.epochs, config=config)
+
+
+# ----------------------------------------------------------------------
+# Source fingerprint
+# ----------------------------------------------------------------------
+
+_FINGERPRINTS: "dict[str, str]" = {}
+
+
+def source_fingerprint(root: "str | Path | None" = None) -> str:
+    """SHA-256 over every ``*.py`` under the simulator package.
+
+    The digest covers relative path and content of each file, so any
+    source change — a new policy, a timing-model tweak — invalidates
+    every cached result.  Memoized per root for the process lifetime
+    (the source tree does not change under a running sweep).
+    """
+    base = Path(root) if root is not None else Path(__file__).parent.parent
+    cache_token = str(base.resolve())
+    memoized = _FINGERPRINTS.get(cache_token)
+    if memoized is not None:
+        return memoized
+    digest = hashlib.sha256()
+    for path in sorted(base.rglob("*.py")):
+        digest.update(str(path.relative_to(base)).encode("utf-8"))
+        digest.update(b"\x00")
+        try:
+            digest.update(path.read_bytes())
+        except OSError:
+            continue
+        digest.update(b"\x00")
+    fingerprint = digest.hexdigest()
+    _FINGERPRINTS[cache_token] = fingerprint
+    return fingerprint
+
+
+# ----------------------------------------------------------------------
+# On-disk result cache
+# ----------------------------------------------------------------------
+
+
+class ResultCache:
+    """One pickled ``RunResult`` per cache key, under one directory.
+
+    Robustness contract: a corrupt, truncated, version-skewed, or
+    colliding entry is a *miss* (and is deleted best-effort), never an
+    error — a poisoned cache directory can slow a sweep down but cannot
+    change its results.  Writes are atomic (temp file + ``os.replace``)
+    so parallel sweeps sharing a directory never read half a pickle.
+    """
+
+    FORMAT_VERSION = 1
+
+    def __init__(self, directory: "str | Path") -> None:
+        self.directory = Path(directory)
+        self.hits = 0
+        self.misses = 0
+
+    def path_for(self, key: str) -> Path:
+        return self.directory / f"{key}.pickle"
+
+    def lookup(
+        self, spec: ExperimentSpec, fingerprint: str
+    ) -> "RunResult | None":
+        key = spec.cache_key(fingerprint)
+        path = self.path_for(key)
+        try:
+            with open(path, "rb") as handle:
+                payload = pickle.load(handle)
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError,
+                ImportError, IndexError):
+            self.misses += 1
+            return None
+        if (
+            not isinstance(payload, dict)
+            or payload.get("version") != self.FORMAT_VERSION
+            or payload.get("spec") != spec.canonical()
+            or not isinstance(payload.get("result"), RunResult)
+        ):
+            self.misses += 1
+            self._evict(path)
+            return None
+        self.hits += 1
+        return payload["result"]
+
+    def store(
+        self, spec: ExperimentSpec, fingerprint: str, result: RunResult
+    ) -> None:
+        """Best-effort atomic write; cache I/O failure is not an error."""
+        key = spec.cache_key(fingerprint)
+        path = self.path_for(key)
+        payload = {
+            "version": self.FORMAT_VERSION,
+            "spec": spec.canonical(),
+            "result": result,
+        }
+        try:
+            self.directory.mkdir(parents=True, exist_ok=True)
+            tmp = path.with_suffix(f".tmp-{os.getpid()}")
+            with open(tmp, "wb") as handle:
+                pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)
+        except (OSError, pickle.PicklingError):
+            pass
+
+    def _evict(self, path: Path) -> None:
+        try:
+            path.unlink()
+        except OSError:
+            pass
+
+
+def _resolve_cache(
+    cache: "ResultCache | str | Path | None",
+) -> "ResultCache | None":
+    if cache is None or isinstance(cache, ResultCache):
+        return cache
+    return ResultCache(cache)
+
+
+def default_cache() -> "ResultCache | None":
+    """The ``REPRO_SWEEP_CACHE_DIR`` cache, or ``None`` when unset."""
+    directory = os.environ.get(CACHE_DIR_ENV)
+    if not directory:
+        return None
+    return ResultCache(directory)
+
+
+# ----------------------------------------------------------------------
+# Outcomes
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SpecFailure:
+    """A structured per-spec failure (never a raised exception).
+
+    ``kind`` is one of ``"timeout"`` (the per-spec budget elapsed),
+    ``"worker-crash"`` (the worker process died — its whole chunk is
+    marked, so innocent chunk-mates may carry this too), or ``"error"``
+    (the simulation raised; ``message`` holds the exception text).
+    """
+
+    kind: str
+    message: str
+
+
+@dataclass
+class SpecOutcome:
+    """What happened to one grid point.
+
+    Exactly one of ``result``/``error`` is set.  ``source`` records how
+    the result was obtained: ``"cache"``, ``"serial"``, or
+    ``"parallel"``.  ``elapsed_sec`` is host wall-clock execution time
+    (zero for cache hits) — harness telemetry, never simulator time.
+    """
+
+    spec: ExperimentSpec
+    result: "RunResult | None" = None
+    error: "SpecFailure | None" = None
+    source: str = "serial"
+    elapsed_sec: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.result is not None
+
+
+def results_or_raise(outcomes: "Sequence[SpecOutcome]") -> "list[RunResult]":
+    """Unwrap outcomes, raising :class:`SweepError` on any failure."""
+    failures = [o for o in outcomes if not o.ok]
+    if failures:
+        lines = ", ".join(
+            f"{o.spec.label}: [{o.error.kind}] {o.error.message}"
+            for o in failures[:5]
+        )
+        raise SweepError(
+            f"{len(failures)} of {len(outcomes)} grid points failed: {lines}"
+        )
+    return [o.result for o in outcomes]  # type: ignore[misc]
+
+
+# ----------------------------------------------------------------------
+# Execution
+# ----------------------------------------------------------------------
+
+
+def _wall_sec() -> float:
+    """Host wall-clock seconds for per-spec harness timing.
+
+    This measures how long the *host* took to simulate, for progress
+    output and the perf benchmarks; it never feeds virtual time.
+    """
+    import time
+
+    # heterolint: disable-next-line=unseeded-random — harness telemetry
+    return time.perf_counter()
+
+
+class _SpecTimeout(ReproError):
+    """Internal: raised by the SIGALRM handler inside a worker."""
+
+
+def _timeout_supported() -> bool:
+    return (
+        hasattr(signal, "SIGALRM")
+        and threading.current_thread() is threading.main_thread()
+    )
+
+
+def _run_one(
+    spec: ExperimentSpec, timeout_sec: "float | None"
+) -> "tuple[str, object, float]":
+    """Run one spec under an optional SIGALRM budget.
+
+    Returns ``(status, payload, elapsed_sec)`` where status is ``"ok"``
+    (payload: RunResult), ``"timeout"``, or ``"error"`` (payload: str).
+    """
+    start = _wall_sec()
+    use_alarm = timeout_sec is not None and _timeout_supported()
+    previous = None
+    if use_alarm:
+        def _on_alarm(signum, frame):
+            raise _SpecTimeout(
+                f"spec exceeded its {timeout_sec:g}s budget"
+            )
+
+        previous = signal.signal(signal.SIGALRM, _on_alarm)
+        signal.setitimer(signal.ITIMER_REAL, timeout_sec)
+    try:
+        result = run_spec(spec)
+        return ("ok", result, _wall_sec() - start)
+    except _SpecTimeout as exc:
+        return ("timeout", str(exc), _wall_sec() - start)
+    except Exception as exc:  # noqa: BLE001 — surfaced as SpecFailure
+        message = f"{type(exc).__name__}: {exc}"
+        return ("error", message, _wall_sec() - start)
+    finally:
+        if use_alarm:
+            signal.setitimer(signal.ITIMER_REAL, 0.0)
+            signal.signal(
+                signal.SIGALRM,
+                previous if previous is not None else signal.SIG_DFL,
+            )
+
+
+def _run_chunk(
+    specs: "list[ExperimentSpec]", timeout_sec: "float | None"
+) -> "list[tuple[str, object, float]]":
+    """Worker entry point: run a chunk of specs sequentially."""
+    return [_run_one(spec, timeout_sec) for spec in specs]
+
+
+def _outcome_from_status(
+    spec: ExperimentSpec,
+    status: "tuple[str, object, float]",
+    source: str,
+) -> SpecOutcome:
+    kind, payload, elapsed = status
+    if kind == "ok":
+        return SpecOutcome(
+            spec=spec, result=payload, source=source, elapsed_sec=elapsed
+        )
+    return SpecOutcome(
+        spec=spec,
+        error=SpecFailure(kind=kind, message=str(payload)),
+        source=source,
+        elapsed_sec=elapsed,
+    )
+
+
+def _chunked(
+    items: "list[ExperimentSpec]", chunk_size: int
+) -> "list[list[ExperimentSpec]]":
+    return [
+        items[i:i + chunk_size] for i in range(0, len(items), chunk_size)
+    ]
+
+
+def _fork_available() -> bool:
+    import multiprocessing
+
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+ProgressFn = Callable[[SpecOutcome, int, int], None]
+
+
+def run_specs(
+    specs: "Iterable[ExperimentSpec]",
+    max_workers: "int | None" = 1,
+    cache: "ResultCache | str | Path | None" = None,
+    timeout_sec: "float | None" = None,
+    chunk_size: "int | None" = None,
+    progress: "Optional[ProgressFn]" = None,
+    fingerprint: "str | None" = None,
+) -> "list[SpecOutcome]":
+    """Execute a grid, returning one :class:`SpecOutcome` per input spec.
+
+    Duplicate specs are simulated once and fanned back out.  Cache hits
+    (when ``cache`` is given) skip simulation entirely.  ``max_workers``
+    above 1 fans cache misses out over a forked process pool with
+    chunked scheduling; ``max_workers=1``, ``max_workers=None`` on a
+    single-core host, or a platform without ``fork`` all degrade to
+    in-process serial execution of the same code path.  ``timeout_sec``
+    bounds each spec's wall-clock budget (enforced in the executing
+    process via ``SIGALRM`` where available).  ``progress`` is invoked
+    as ``progress(outcome, done, total)`` after every grid point.
+    """
+    ordered = list(specs)
+    resolved_cache = _resolve_cache(cache)
+    if fingerprint is None and resolved_cache is not None:
+        fingerprint = source_fingerprint()
+    outcomes: "dict[int, SpecOutcome]" = {}
+    done = 0
+
+    def _record(index: int, outcome: SpecOutcome) -> None:
+        nonlocal done
+        outcomes[index] = outcome
+        done += 1
+        if progress is not None:
+            progress(outcome, done, len(ordered))
+
+    # Dedup: first index of each distinct spec does the work.
+    pending: "dict[ExperimentSpec, list[int]]" = {}
+    for index, spec in enumerate(ordered):
+        pending.setdefault(spec, []).append(index)
+
+    # Cache pass (in the parent: workers never touch the cache, so a
+    # broken worker cannot corrupt it).
+    misses: "list[ExperimentSpec]" = []
+    for spec, indexes in pending.items():
+        cached = (
+            resolved_cache.lookup(spec, fingerprint)
+            if resolved_cache is not None
+            else None
+        )
+        if cached is not None:
+            for index in indexes:
+                _record(
+                    index, SpecOutcome(spec=spec, result=cached, source="cache")
+                )
+        else:
+            misses.append(spec)
+
+    if max_workers is None:
+        max_workers = os.cpu_count() or 1
+    # max_workers > 1 always means worker-process isolation (even for a
+    # single miss): a crashing simulation must never take down the
+    # caller's process.
+    parallel = max_workers > 1 and misses and _fork_available()
+
+    def _finish(spec: ExperimentSpec, outcome: SpecOutcome) -> None:
+        if outcome.ok and resolved_cache is not None:
+            resolved_cache.store(spec, fingerprint, outcome.result)
+        for index in pending[spec]:
+            _record(index, outcome)
+
+    if not parallel:
+        for spec in misses:
+            _finish(spec, _outcome_from_status(
+                spec, _run_one(spec, timeout_sec), "serial"
+            ))
+        return [outcomes[i] for i in range(len(ordered))]
+
+    if chunk_size is None:
+        # Aim for ~4 chunks per worker: coarse enough to amortize task
+        # dispatch, fine enough to keep the pool busy at the tail.
+        chunk_size = max(1, len(misses) // (max_workers * 4))
+    chunks = _chunked(misses, chunk_size)
+    import multiprocessing
+
+    context = multiprocessing.get_context("fork")
+    try:
+        executor = ProcessPoolExecutor(
+            max_workers=max_workers, mp_context=context
+        )
+    except (OSError, NotImplementedError, ValueError):
+        # Pool creation itself failed (resource limits, exotic platform):
+        # graceful serial fallback, same execution path.
+        for spec in misses:
+            _finish(spec, _outcome_from_status(
+                spec, _run_one(spec, timeout_sec), "serial"
+            ))
+        return [outcomes[i] for i in range(len(ordered))]
+
+    try:
+        futures = {
+            executor.submit(_run_chunk, chunk, timeout_sec): chunk
+            for chunk in chunks
+        }
+        for future in as_completed(futures):
+            chunk = futures[future]
+            try:
+                statuses = future.result()
+            except BrokenProcessPool:
+                # The worker died mid-chunk (hard crash); every spec in
+                # the chunk is marked rather than re-run, because the
+                # crasher would take the parent down with it.
+                failure = SpecFailure(
+                    kind="worker-crash",
+                    message=(
+                        "worker process died; chunk of "
+                        f"{len(chunk)} spec(s) abandoned"
+                    ),
+                )
+                for spec in chunk:
+                    _finish(
+                        spec,
+                        SpecOutcome(
+                            spec=spec, error=failure, source="parallel"
+                        ),
+                    )
+            except Exception as exc:  # noqa: BLE001 — structured outcome
+                failure = SpecFailure(
+                    kind="error", message=f"{type(exc).__name__}: {exc}"
+                )
+                for spec in chunk:
+                    _finish(
+                        spec,
+                        SpecOutcome(
+                            spec=spec, error=failure, source="parallel"
+                        ),
+                    )
+            else:
+                for spec, status in zip(chunk, statuses):
+                    _finish(
+                        spec, _outcome_from_status(spec, status, "parallel")
+                    )
+    finally:
+        executor.shutdown(wait=False, cancel_futures=True)
+    return [outcomes[i] for i in range(len(ordered))]
+
+
+# ----------------------------------------------------------------------
+# Process-wide memoized runner (the experiment drivers' entry point)
+# ----------------------------------------------------------------------
+
+_MEMO: "dict[ExperimentSpec, RunResult]" = {}
+
+
+def run_cached(
+    app: str,
+    policy: str,
+    fast_ratio: float = 0.25,
+    epochs: "int | None" = None,
+    slow_gib: float = 8.0,
+    throttle: "tuple[float, float] | ThrottleConfig | None" = None,
+    llc_mib: int = 16,
+    seed: int = 7,
+    slow_device: "str | None" = None,
+    policy_args: "Mapping | None" = None,
+    hotness: "HotnessConfig | Mapping | None" = None,
+    cache: "ResultCache | str | Path | None" = None,
+) -> RunResult:
+    """Memoized :func:`run_spec`: the shared driver entry point.
+
+    Results are memoized in-process by spec, so drivers that revisit a
+    grid point (Figure 9's baselines, Figure 10 reusing Figure 9's
+    runs, Table 4 vs. Figure 1's FastMem-only run) simulate it once per
+    process.  When ``cache`` is given — or ``REPRO_SWEEP_CACHE_DIR`` is
+    set — results also persist across processes.
+    """
+    spec = make_spec(
+        app,
+        policy,
+        fast_ratio=fast_ratio,
+        epochs=epochs,
+        slow_gib=slow_gib,
+        throttle=throttle,
+        llc_mib=llc_mib,
+        seed=seed,
+        slow_device=slow_device,
+        policy_args=policy_args,
+        hotness=hotness,
+    )
+    memoized = _MEMO.get(spec)
+    if memoized is not None:
+        return memoized
+    resolved_cache = _resolve_cache(cache) or default_cache()
+    fingerprint = ""
+    if resolved_cache is not None:
+        fingerprint = source_fingerprint()
+        cached = resolved_cache.lookup(spec, fingerprint)
+        if cached is not None:
+            _MEMO[spec] = cached
+            return cached
+    result = run_spec(spec)
+    _MEMO[spec] = result
+    if resolved_cache is not None:
+        resolved_cache.store(spec, fingerprint, result)
+    return result
+
+
+def clear_memo() -> None:
+    """Drop the in-process memo (benchmark sessions call this between
+    timed drivers so cold timings stay cold)."""
+    _MEMO.clear()
