@@ -1,0 +1,71 @@
+"""Telemetry overhead budget: observation must stay near-free.
+
+Two pinned ratios (ISSUE acceptance):
+
+* carrying a *disabled* bus costs < 2% over the seed path (no bus at
+  all) — the engine must take the identical code path;
+* full sampling (in-memory timeline + profiler) costs < 25%.
+
+Wall-clock comparisons are noisy, so each variant is timed best-of-N
+over a fixed-epoch run and the *minimum* (least-interference) times are
+compared.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.core import make_policy
+from repro.obs import PhaseProfiler, Telemetry
+from repro.sim.engine import SimulationEngine
+from repro.sim.runner import build_config
+from repro.workloads.registry import make_workload
+
+EPOCHS = 40
+ROUNDS = 5
+
+
+def _time_run(telemetry) -> float:
+    engine = SimulationEngine(
+        build_config(fast_ratio=0.25),
+        make_workload("redis"),
+        make_policy("hetero-lru"),
+        telemetry=telemetry,
+    )
+    start = time.perf_counter()
+    engine.run(EPOCHS)
+    return time.perf_counter() - start
+
+
+def _best_of(make_telemetry) -> float:
+    return min(_time_run(make_telemetry()) for _ in range(ROUNDS))
+
+
+def test_perf_telemetry_overhead_budget(show):
+    seed = _best_of(lambda: None)
+    disabled = _best_of(lambda: Telemetry(enabled=False))
+    sampling = _best_of(
+        lambda: Telemetry(profiler=PhaseProfiler())
+    )
+    off_ratio = disabled / seed
+    on_ratio = sampling / seed
+    show(
+        [
+            {"variant": "seed (no bus)", "best_sec": seed, "ratio": 1.0},
+            {
+                "variant": "disabled bus",
+                "best_sec": disabled,
+                "ratio": off_ratio,
+            },
+            {
+                "variant": "sampling + profiler",
+                "best_sec": sampling,
+                "ratio": on_ratio,
+            },
+        ],
+        title="Perf telemetry: overhead vs seed path "
+        f"({EPOCHS} epochs, best of {ROUNDS})",
+        float_digits=4,
+    )
+    assert off_ratio < 1.02, f"disabled bus costs {off_ratio:.3f}x seed"
+    assert on_ratio < 1.25, f"sampling costs {on_ratio:.3f}x seed"

@@ -225,6 +225,91 @@ def cmd_sanitize_check(args: argparse.Namespace) -> int:
     return 0 if not reports else 1
 
 
+def cmd_trace(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.obs import (
+        ChromeTraceSink,
+        JsonlSink,
+        PhaseProfiler,
+        Telemetry,
+        TimelineSink,
+    )
+
+    out_path = Path(args.out)
+    jsonl_path = (
+        Path(args.jsonl) if args.jsonl else out_path.with_suffix(".jsonl")
+    )
+    profiler = PhaseProfiler() if not args.no_profile else None
+    telemetry = Telemetry(
+        sinks=[
+            TimelineSink(),
+            JsonlSink(jsonl_path),
+            ChromeTraceSink(out_path),
+        ],
+        profiler=profiler,
+    )
+    result = run_experiment(
+        args.app,
+        args.policy,
+        fast_ratio=args.ratio,
+        epochs=args.epochs,
+        seed=args.seed,
+        telemetry=telemetry,
+    )
+    epochs = result.stats.epochs
+    print(
+        f"traced {args.app}/{args.policy}: {epochs} epochs, "
+        f"{result.runtime_sec:.3f}s virtual"
+    )
+    print(f"chrome trace : {out_path}  (open in ui.perfetto.dev)")
+    print(f"jsonl        : {jsonl_path}")
+    if profiler is not None and profiler.total_seconds > 0:
+        print("host profile :")
+        for phase, entry in profiler.report().items():
+            share = entry["seconds"] / profiler.total_seconds * 100.0
+            print(
+                f"  {phase:<8} {entry['seconds'] * 1e3:8.2f} ms "
+                f"({share:4.1f}%) over {entry['calls']} call(s)"
+            )
+    return 0
+
+
+def cmd_timeline(args: argparse.Namespace) -> int:
+    from repro.obs import diff_timelines, load_timeline
+
+    if args.diff:
+        path_a, path_b = args.diff
+        _, samples_a, _ = load_timeline(path_a)
+        _, samples_b, _ = load_timeline(path_b)
+        diff = diff_timelines(samples_a, samples_b)
+        print(diff.describe())
+        return 0 if diff.identical else 1
+    if not args.path:
+        print(
+            "repro timeline: give a timeline file or --diff A B",
+            file=sys.stderr,
+        )
+        return 2
+    header, samples, summary = load_timeline(args.path)
+    label = "{}/{}".format(
+        header.get("workload", "?"), header.get("policy", "?")
+    )
+    print(f"{label}: {len(samples)} epochs")
+    for sample in samples:
+        print(
+            f"  epoch {sample.epoch:>4}: runtime {sample.runtime_ns:14.0f} ns"
+            f"  mpki {sample.mpki:7.2f}  stall {sample.stall_ns:14.0f} ns"
+            f"  migrated {sample.pages_migrated:>8}"
+        )
+    if summary:
+        print(
+            f"summary: runtime {summary.get('runtime_ns', 0):,.0f} ns, "
+            f"mpki {summary.get('mpki', 0):.2f}"
+        )
+    return 0
+
+
 def cmd_sweep(args: argparse.Namespace) -> int:
     from repro.errors import SweepError
     from repro.experiments.sweep import sweep
@@ -364,6 +449,46 @@ def build_parser() -> argparse.ArgumentParser:
         "--format", choices=("human", "json"), default="human"
     )
     sanitize_parser.set_defaults(func=cmd_sanitize_check)
+
+    trace_parser = sub.add_parser(
+        "trace",
+        help="run one (app, policy) pair with full telemetry: Chrome "
+        "trace JSON + JSONL timeline + host profile",
+    )
+    trace_parser.add_argument("app")
+    trace_parser.add_argument("policy")
+    trace_parser.add_argument(
+        "--out", default="run.trace.json",
+        help="Chrome trace_event output path (default: run.trace.json)",
+    )
+    trace_parser.add_argument(
+        "--jsonl", default=None,
+        help="JSONL timeline output path (default: --out with .jsonl)",
+    )
+    trace_parser.add_argument("--ratio", type=float, default=0.25)
+    trace_parser.add_argument("--epochs", type=int, default=None)
+    trace_parser.add_argument("--seed", type=int, default=7)
+    trace_parser.add_argument(
+        "--no-profile", action="store_true",
+        help="skip the host wall-clock phase profiler",
+    )
+    trace_parser.set_defaults(func=cmd_trace)
+
+    timeline_parser = sub.add_parser(
+        "timeline",
+        help="inspect a JSONL timeline, or --diff two to find the first "
+        "divergent epoch",
+    )
+    timeline_parser.add_argument(
+        "path", nargs="?", default=None,
+        help="JSONL timeline to summarize",
+    )
+    timeline_parser.add_argument(
+        "--diff", nargs=2, metavar=("A", "B"), default=None,
+        help="compare two timelines; exit 1 and report the first "
+        "divergent epoch when they differ",
+    )
+    timeline_parser.set_defaults(func=cmd_timeline)
 
     sweep_parser = sub.add_parser(
         "sweep",

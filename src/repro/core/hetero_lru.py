@@ -104,6 +104,7 @@ class HeteroLruPolicy(HeapIoSlabOdPolicy):
             self._demote_queue = []
             return 0.0
         target = slow_ids[0]
+        demoted_before = self.pages_demoted
         cost = 0.0
         queued, self._demote_queue = self._demote_queue, []
         for fast_id in kernel.fast_node_ids:
@@ -163,6 +164,11 @@ class HeteroLruPolicy(HeapIoSlabOdPolicy):
                     deficit -= moved
             cost += self._demote_for_denser(epoch, fast_id, target)
         self.demote_cost_ns += cost
+        demoted = self.pages_demoted - demoted_before
+        if demoted:
+            self.record_decision(
+                "demote-pass", epoch=epoch, pages=demoted, cost_ns=cost
+            )
         return cost
 
     def _demote_for_denser(

@@ -39,6 +39,11 @@ class PolicyBinding:
     hypervisor: Hypervisor | None = None
     domain: Domain | None = None
     rng: random.Random | None = None
+    #: Telemetry bus (duck-typed ``repro.obs.Telemetry``; untyped here so
+    #: core stays below obs in the layering).  ``None`` when telemetry is
+    #: off — policies report via :meth:`PlacementPolicy.record_decision`
+    #: which no-ops in that case.
+    telemetry: object | None = None
 
     @property
     def channel(self) -> CoordinationChannel | None:
@@ -109,6 +114,17 @@ class PlacementPolicy(abc.ABC):
         """Engine callback with each epoch's LLC-miss counter sample
         (bare-metal policies keep their own counters; virtualized ones
         read the VMM-exported channel instead)."""
+
+    def record_decision(self, decision: str, **data: object) -> None:
+        """Report a policy decision to the telemetry bus, if attached.
+
+        Free when telemetry is off (unbound or ``binding.telemetry`` is
+        ``None``); data must be JSON-safe scalars.  The event lands in
+        the current epoch's sample under source ``core.policy``.
+        """
+        if self.binding is None or self.binding.telemetry is None:
+            return
+        self.binding.telemetry.policy_event(decision, policy=self.name, **data)
 
     # Convenience node lookups ------------------------------------------
 

@@ -528,6 +528,7 @@ LAYER_RANKS = {
     "vmm": 3,
     "core": 4,
     "devtools": 4,
+    "obs": 4,
     "sim": 5,
     "experiments": 6,
     "__init__": 7,
@@ -631,6 +632,40 @@ class UnorderedPlacementRule(Rule):
                         "are reached depends on insertion order; iterate a "
                         "sorted list or document why order is deterministic",
                     )
+
+
+#: Packages that ARE the human-facing surface and may print freely.
+_PRINT_EXEMPT_PACKAGES = frozenset({"cli", "__main__"})
+
+
+@register
+class NoPrintRule(Rule):
+    """Library code must not ``print()``: embedders (sweep workers,
+    figure drivers, tests) own stdout, and run-time observations belong
+    on the telemetry bus (``repro.obs``) where they are recorded, not
+    interleaved with table output.  The CLI is the one human-facing
+    surface and is exempt."""
+
+    rule_id = "no-print"
+    rationale = (
+        "stray prints from library code corrupt driver/CLI table output "
+        "and bypass the telemetry bus; emit events via repro.obs instead"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if ctx.package in _PRINT_EXEMPT_PACKAGES:
+            return
+        for node in ast.walk(ctx.tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "print"
+            ):
+                yield self.finding(
+                    ctx, node,
+                    "print() in library code; report through the telemetry "
+                    "bus (repro.obs) or return data to the caller",
+                )
 
 
 # ----------------------------------------------------------------------

@@ -48,6 +48,10 @@ class SweepError(ReproError):
     """Parallel/cached experiment execution failed (repro.sim.parallel)."""
 
 
+class ObservabilityError(ReproError):
+    """Telemetry bus / sink / timeline misuse (repro.obs)."""
+
+
 class DevtoolsError(ReproError):
     """Base class for the static-analysis / sanitizer tooling."""
 

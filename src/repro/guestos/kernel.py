@@ -442,6 +442,43 @@ class GuestKernel:
         self.pending_cost_ns = 0.0
         return cost
 
+    def occupancy_snapshot(self) -> dict:
+        """Zone/LRU/balloon occupancy gauges for telemetry.
+
+        Read-only and JSON-safe; node keys are strings (fastest tier
+        first) so a sample round-trips losslessly through JSON.
+        """
+        nodes: dict[str, dict] = {}
+        for node_id in self.nodes_by_speed():
+            node = self.nodes[node_id]
+            lru = self.lru[node_id]
+            nodes[str(node_id)] = {
+                "tier": node.tier.value,
+                "device": node.device.name,
+                "total_pages": node.total_pages,
+                "free_pages": node.free_pages,
+                "used_pages": node.used_pages,
+                "active_pages": lru.active_pages,
+                "inactive_pages": lru.inactive_pages,
+                "percpu_cached_pages": self.percpu.cached_pages(node_id),
+                "ballooned_pages": self.hidden_pages(node_id),
+                "zones": {
+                    zone.kind.value: {
+                        "total_pages": zone.total_pages,
+                        "free_pages": zone.free_pages,
+                    }
+                    for zone in node.zones
+                },
+            }
+        return {
+            "nodes": nodes,
+            "swap": {
+                "used_pages": self.swap.used_pages,
+                "pages_out": self.swap.stats.pages_out,
+                "pages_in": self.swap.stats.pages_in,
+            },
+        }
+
     # ------------------------------------------------------------------
     # Whole-kernel invariants (used by tests and debugging sessions)
     # ------------------------------------------------------------------

@@ -100,6 +100,18 @@ class MemoryDevice:
         return self.bandwidth_gbps > other.bandwidth_gbps
 
 
+def topology_sort_key(device: MemoryDevice) -> tuple:
+    """Deterministic device order: fastest tier first, name as tiebreak.
+
+    The total-order companion of :meth:`MemoryDevice.is_faster_than`;
+    used to normalise every per-device mapping the simulator emits
+    (``RunStats.stall_ns_by_device``, telemetry samples) so JSONL
+    timelines and cached results are byte-stable across runs regardless
+    of dict insertion order.
+    """
+    return (device.load_latency_ns, -device.bandwidth_gbps, device.name)
+
+
 #: Commodity DDR DRAM — the FastMem baseline of the paper's evaluation
 #: (Table 1 middle column; Table 3's L:1,B:1 row quotes 60 ns / 24 GB/s).
 DRAM = MemoryDevice(

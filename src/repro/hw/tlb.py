@@ -38,6 +38,21 @@ class TlbConfig:
             raise ConfigurationError("TLB must have at least one entry")
 
 
+@dataclass(frozen=True)
+class TlbSnapshot:
+    """Cumulative flush/shootdown counts at a point in time."""
+
+    flushes: int
+    shootdowns: int
+
+    def delta(self, since: "TlbSnapshot") -> "TlbSnapshot":
+        """Per-interval counts between ``since`` and this snapshot."""
+        return TlbSnapshot(
+            flushes=self.flushes - since.flushes,
+            shootdowns=self.shootdowns - since.shootdowns,
+        )
+
+
 @dataclass
 class Tlb:
     """Cost meter for TLB flushes and shootdowns."""
@@ -55,6 +70,10 @@ class Tlb:
         """Cross-core shootdown (used by migrations).  Returns cost (ns)."""
         self.shootdowns += 1
         return self.config.shootdown_ns
+
+    def snapshot(self) -> TlbSnapshot:
+        """Cumulative counts; diff snapshots for per-epoch deltas."""
+        return TlbSnapshot(flushes=self.flushes, shootdowns=self.shootdowns)
 
     def reset(self) -> None:
         self.flushes = 0

@@ -1,0 +1,131 @@
+"""The telemetry event bus the simulation engine publishes to.
+
+A :class:`Telemetry` instance is handed to ``SimulationEngine`` (via
+``run_experiment(..., telemetry=...)``).  The engine publishes one
+:class:`~repro.obs.sample.EpochSample` per epoch; mid-epoch, subsystems
+report discrete events (migration pass outcomes, policy decisions)
+which the bus buffers and the engine folds into that epoch's sample.
+
+Determinism contract: the bus only *reads* simulator state.  It holds
+no RNG, feeds nothing back, and when ``enabled`` is ``False`` (or no
+bus is attached at all) the engine takes the exact seed code path.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.obs.profiler import PhaseProfiler
+from repro.obs.sample import EpochSample
+from repro.obs.sinks import Sink, TimelineSink
+
+
+class Telemetry:
+    """Fan-out bus: buffers events, publishes samples to all sinks.
+
+    Parameters
+    ----------
+    sinks:
+        Sinks to publish to.  Defaults to a single in-memory
+        :class:`~repro.obs.sinks.TimelineSink` so ``Telemetry()`` with
+        no arguments already yields ``RunResult.timeline``.
+    profiler:
+        Optional :class:`~repro.obs.profiler.PhaseProfiler`; when set,
+        the engine brackets its phases and the host profile lands in
+        the run summary.
+    enabled:
+        When ``False`` the engine skips sampling entirely — useful for
+        measuring the cost of merely *carrying* a bus (benchmarks).
+    """
+
+    def __init__(
+        self,
+        sinks: Optional[Sequence[Sink]] = None,
+        profiler: Optional[PhaseProfiler] = None,
+        enabled: bool = True,
+    ) -> None:
+        self.sinks: List[Sink] = (
+            list(sinks) if sinks is not None else [TimelineSink()]
+        )
+        self.profiler = profiler
+        self.enabled = enabled
+        self._pending_events: List[dict] = []
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Mid-epoch event reporting (buffered into the epoch's sample).
+    # ------------------------------------------------------------------
+    def event(self, name: str, source: str, **data: object) -> None:
+        """Buffer a discrete event for the current epoch's sample."""
+        if not self.enabled:
+            return
+        record: dict = {"name": name, "source": source}
+        record.update(data)
+        self._pending_events.append(record)
+
+    def migration_event(self, kind: str, report: object) -> None:
+        """Migration-pass bracket callback (``begin``/``commit``/``abort``).
+
+        Matches the ``MigrationEngine.observer`` signature; ``report``
+        is duck-typed so :mod:`repro.vmm` needs no import of obs.
+        """
+        self.event(
+            "migration-" + kind,
+            "vmm.migration",
+            pages_moved=getattr(report, "pages_moved", 0),
+            pages_failed=getattr(report, "pages_failed", 0),
+            pages_rejected=getattr(report, "pages_rejected", 0),
+            extents_moved=getattr(report, "extents_moved", 0),
+            evicted_pages=getattr(report, "evicted_pages", 0),
+            cost_ns=getattr(report, "cost_ns", 0.0),
+        )
+
+    def policy_event(self, decision: str, **data: object) -> None:
+        """Placement-policy decision (promotion pass, demotion pass, ...)."""
+        self.event(decision, "core.policy", **data)
+
+    def drain_events(self) -> List[dict]:
+        """Return and clear the events buffered since the last drain."""
+        events = self._pending_events
+        self._pending_events = []
+        return events
+
+    # ------------------------------------------------------------------
+    # Run lifecycle, driven by the engine.
+    # ------------------------------------------------------------------
+    def open_run(self, header: dict) -> None:
+        """Announce run metadata to every sink before epoch 0."""
+        if not self.enabled:
+            return
+        for sink in self.sinks:
+            sink.on_start(header)
+
+    def publish(self, sample: EpochSample) -> None:
+        """Deliver one epoch's sample to every sink, in epoch order."""
+        if not self.enabled:
+            return
+        for sink in self.sinks:
+            sink.on_sample(sample)
+
+    def close_run(self, summary: dict) -> None:
+        """Deliver final aggregates (+ host profile) and close sinks."""
+        if self._closed or not self.enabled:
+            return
+        self._closed = True
+        if self.profiler is not None:
+            summary = dict(summary)
+            summary["profile"] = self.profiler.report()
+        for sink in self.sinks:
+            sink.on_finish(summary)
+        for sink in self.sinks:
+            sink.close()
+
+    # ------------------------------------------------------------------
+    # Convenience accessors.
+    # ------------------------------------------------------------------
+    def timeline(self) -> Optional[List[EpochSample]]:
+        """Samples from the first in-memory sink, if one is attached."""
+        for sink in self.sinks:
+            if isinstance(sink, TimelineSink):
+                return sink.samples
+        return None

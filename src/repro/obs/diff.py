@@ -1,0 +1,113 @@
+"""Timeline diffing: find the first epoch where two runs diverge.
+
+Turns "these two runs ended with different numbers" into "they first
+disagreed at epoch 17, on ``llc_misses`` and ``stall_ns_by_device``" —
+the root-causing workflow behind ``repro timeline --diff``.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import List, Optional, Tuple, Union
+
+from repro.errors import ObservabilityError
+from repro.obs.sample import _DICT_FIELDS, _SCALAR_FIELDS, EpochSample
+
+
+def load_timeline(
+    path: Union[str, Path]
+) -> Tuple[dict, List[EpochSample], dict]:
+    """Parse a JSONL timeline into ``(header, samples, summary)``.
+
+    Unknown line types are ignored (forward compatibility); a missing
+    header or summary comes back as ``{}``.
+    """
+    header: dict = {}
+    summary: dict = {}
+    samples: List[EpochSample] = []
+    path = Path(path)
+    with path.open("r", encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError as exc:
+                raise ObservabilityError(
+                    f"{path}:{lineno}: not valid JSON: {exc}"
+                ) from exc
+            kind = record.get("type")
+            if kind == "header":
+                header = {k: v for k, v in record.items() if k != "type"}
+            elif kind == "summary":
+                summary = {k: v for k, v in record.items() if k != "type"}
+            elif kind == "sample":
+                samples.append(EpochSample.from_dict(record))
+    return header, samples, summary
+
+
+@dataclass
+class TimelineDiff:
+    """Outcome of comparing two timelines epoch by epoch."""
+
+    #: Epoch index of the first divergent sample, or ``None`` if every
+    #: common epoch matched.
+    first_divergent_epoch: Optional[int] = None
+    #: Field names differing at that epoch, in schema order.
+    differing_fields: List[str] = field(default_factory=list)
+    #: ``(field, value_a, value_b)`` for each differing field.
+    details: List[tuple] = field(default_factory=list)
+    #: Epoch counts of the two timelines (diverge by truncation when
+    #: unequal and all common epochs match).
+    len_a: int = 0
+    len_b: int = 0
+
+    @property
+    def identical(self) -> bool:
+        """True when both timelines match in length and every field."""
+        return self.first_divergent_epoch is None and self.len_a == self.len_b
+
+    def describe(self) -> str:
+        """Human-readable one-or-more-line report."""
+        if self.identical:
+            return f"timelines identical ({self.len_a} epochs)"
+        if self.first_divergent_epoch is None:
+            return (
+                "timelines agree on all "
+                f"{min(self.len_a, self.len_b)} common epochs, but lengths "
+                f"differ: {self.len_a} vs {self.len_b}"
+            )
+        lines = [
+            f"first divergent epoch: {self.first_divergent_epoch}",
+            "differing fields: " + ", ".join(self.differing_fields),
+        ]
+        for name, a, b in self.details:
+            lines.append(f"  {name}: {a!r} != {b!r}")
+        return "\n".join(lines)
+
+
+def _compare_sample(a: EpochSample, b: EpochSample) -> List[tuple]:
+    diffs = []
+    for name in _SCALAR_FIELDS + _DICT_FIELDS:
+        va, vb = getattr(a, name), getattr(b, name)
+        if va != vb:
+            diffs.append((name, va, vb))
+    return diffs
+
+
+def diff_timelines(
+    a: List[EpochSample], b: List[EpochSample]
+) -> TimelineDiff:
+    """Compare two timelines; report the first epoch where they differ."""
+    result = TimelineDiff(len_a=len(a), len_b=len(b))
+    for sample_a, sample_b in zip(a, b):
+        diffs = _compare_sample(sample_a, sample_b)
+        if diffs:
+            result.first_divergent_epoch = sample_a.epoch
+            result.differing_fields = [d[0] for d in diffs]
+            result.details = diffs
+            break
+    return result

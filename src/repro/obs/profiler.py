@@ -1,0 +1,65 @@
+# heterolint: disable-file=unseeded-random
+"""Host wall-clock profiling of simulator phases.
+
+The simulator reports *virtual* nanoseconds; this profiler measures the
+*host* seconds spent computing them, phase by phase (allocate, touch,
+timing, policy, ...), so hot paths in the simulator itself are visible.
+``time.perf_counter`` is host-side measurement only — it never feeds a
+simulated quantity, which is why this file carries the
+``unseeded-random`` lint waiver instead of threading the seeded RNG.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Dict, Iterator
+
+
+class PhaseProfiler:
+    """Accumulates host wall-clock time per named simulator phase.
+
+    Usage::
+
+        prof = PhaseProfiler()
+        with prof.phase("timing"):
+            ...  # hot work
+        prof.report()  # {"timing": {"calls": 1, "seconds": 0.0012}}
+
+    Phases may nest; each phase accounts its own wall-clock span
+    inclusively (a nested phase's time is counted in both).
+    """
+
+    def __init__(self) -> None:
+        self.seconds: Dict[str, float] = {}
+        self.calls: Dict[str, int] = {}
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        """Time one phase occurrence under ``name``."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            self.seconds[name] = self.seconds.get(name, 0.0) + elapsed
+            self.calls[name] = self.calls.get(name, 0) + 1
+
+    @property
+    def total_seconds(self) -> float:
+        """Sum of all phase times (nested phases double-count)."""
+        return sum(self.seconds.values())
+
+    def report(self) -> Dict[str, Dict[str, float]]:
+        """Per-phase ``{"calls": n, "seconds": s}``, slowest first."""
+        return {
+            name: {"calls": self.calls[name], "seconds": self.seconds[name]}
+            for name in sorted(
+                self.seconds, key=lambda n: self.seconds[n], reverse=True
+            )
+        }
+
+    def reset(self) -> None:
+        """Drop all accumulated phase times."""
+        self.seconds.clear()
+        self.calls.clear()

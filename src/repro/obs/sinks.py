@@ -1,0 +1,265 @@
+"""Telemetry sinks: where :class:`~repro.obs.sample.EpochSample`\\ s go.
+
+Three built-ins cover the paper workflows:
+
+* :class:`TimelineSink` — in-memory list, attached to
+  ``RunResult.timeline`` for programmatic plotting/diffing.
+* :class:`JsonlSink` — one canonical JSON object per line (``header``,
+  ``sample`` xN, ``summary``), byte-stable for a given run so timelines
+  can be diffed and cached.
+* :class:`ChromeTraceSink` — Chrome ``trace_event`` JSON; open the file
+  in https://ui.perfetto.dev or ``chrome://tracing``.  Virtual time is
+  rendered on pid 0, host self-profiler phases on pid 1.
+
+Custom sinks subclass :class:`Sink` and override any of the four hooks.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import IO, Dict, List, Optional, Union
+
+from repro.errors import ObservabilityError
+from repro.obs.sample import EpochSample
+
+
+def json_line(obj: dict) -> str:
+    """Canonical single-line JSON: sorted keys, no whitespace.
+
+    Python's float formatting round-trips exactly, so dumping and
+    re-loading a timeline preserves every bit of every sample.
+    """
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"))
+
+
+class Sink:
+    """Base sink; every hook is optional."""
+
+    def on_start(self, header: dict) -> None:
+        """Run metadata (workload, policy, seed, ...) before epoch 0."""
+
+    def on_sample(self, sample: EpochSample) -> None:
+        """One per epoch, in epoch order."""
+
+    def on_finish(self, summary: dict) -> None:
+        """Final aggregates + host profile after the last epoch."""
+
+    def close(self) -> None:
+        """Flush and release resources; called exactly once."""
+
+
+class TimelineSink(Sink):
+    """Accumulates samples in memory (becomes ``RunResult.timeline``)."""
+
+    def __init__(self) -> None:
+        self.header: dict = {}
+        self.samples: List[EpochSample] = []
+        self.summary: dict = {}
+
+    def on_start(self, header: dict) -> None:
+        self.header = header
+
+    def on_sample(self, sample: EpochSample) -> None:
+        self.samples.append(sample)
+
+    def on_finish(self, summary: dict) -> None:
+        self.summary = summary
+
+
+class JsonlSink(Sink):
+    """Streams typed JSON lines to ``path`` (or an open text stream).
+
+    Line types: ``{"type":"header",...}``, ``{"type":"sample",...}``
+    (the flattened :meth:`EpochSample.to_dict`), ``{"type":"summary",...}``.
+    """
+
+    def __init__(self, path: Union[str, Path, IO[str]]) -> None:
+        if hasattr(path, "write"):
+            self._fh: Optional[IO[str]] = path  # caller-owned stream
+            self._owns = False
+            self.path: Optional[Path] = None
+        else:
+            self.path = Path(path)
+            self._fh = None
+            self._owns = True
+
+    def _file(self) -> IO[str]:
+        if self._fh is None:
+            if self.path is None:
+                raise ObservabilityError("JsonlSink used after close()")
+            self._fh = self.path.open("w", encoding="utf-8")
+        return self._fh
+
+    def on_start(self, header: dict) -> None:
+        record = dict(header)
+        record["type"] = "header"
+        self._file().write(json_line(record) + "\n")
+
+    def on_sample(self, sample: EpochSample) -> None:
+        record = sample.to_dict()
+        record["type"] = "sample"
+        self._file().write(json_line(record) + "\n")
+
+    def on_finish(self, summary: dict) -> None:
+        record = dict(summary)
+        record["type"] = "summary"
+        self._file().write(json_line(record) + "\n")
+
+    def close(self) -> None:
+        if self._fh is not None and self._owns:
+            self._fh.close()
+        self._fh = None
+
+
+class ChromeTraceSink(Sink):
+    """Emits Chrome ``trace_event`` JSON (Perfetto / chrome://tracing).
+
+    Layout:
+
+    * pid 0 "virtual time" — one complete (``ph:"X"``) slice per epoch on
+      the virtual-ns axis (rendered as µs), instant events for migration
+      passes / policy decisions, and counter (``ph:"C"``) tracks for
+      MPKI, per-device stall, migration activity, and FastMem occupancy.
+    * pid 1 "host profiler" — the self-profiler's per-phase wall-clock
+      totals as slices, when profiling was enabled.
+    """
+
+    _VIRTUAL_PID = 0
+    _HOST_PID = 1
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+        self.events: List[dict] = []
+        self._virtual_ns = 0.0
+        self._closed = False
+
+    def _meta(self, pid: int, name: str) -> None:
+        self.events.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": 0,
+                "args": {"name": name},
+            }
+        )
+
+    def on_start(self, header: dict) -> None:
+        label = "{} / {} (virtual time)".format(
+            header.get("workload", "?"), header.get("policy", "?")
+        )
+        self._meta(self._VIRTUAL_PID, label)
+        self.events.append(
+            {
+                "name": "run",
+                "ph": "M",
+                "pid": self._VIRTUAL_PID,
+                "tid": 0,
+                "args": dict(header),
+            }
+        )
+
+    def on_sample(self, sample: EpochSample) -> None:
+        ts_us = self._virtual_ns / 1000.0
+        dur_us = sample.runtime_ns / 1000.0
+        self.events.append(
+            {
+                "name": "epoch {}".format(sample.epoch),
+                "cat": "epoch",
+                "ph": "X",
+                "pid": self._VIRTUAL_PID,
+                "tid": 0,
+                "ts": ts_us,
+                "dur": dur_us,
+                "args": {
+                    "mpki": sample.mpki,
+                    "llc_misses": sample.llc_misses,
+                    "stall_ns": sample.stall_ns,
+                    "pages_migrated": sample.pages_migrated,
+                    "pages_demoted": sample.pages_demoted,
+                },
+            }
+        )
+        counters = {
+            "mpki": {"mpki": sample.mpki},
+            "stall_ns": dict(sample.stall_ns_by_device),
+            "migration pages": {
+                "migrated": sample.pages_migrated,
+                "demoted": sample.pages_demoted,
+            },
+            "fastmem pages": {
+                "used": sample.fast_used_pages,
+                "free": sample.fast_free_pages,
+            },
+        }
+        for name, args in counters.items():
+            self.events.append(
+                {
+                    "name": name,
+                    "ph": "C",
+                    "pid": self._VIRTUAL_PID,
+                    "tid": 0,
+                    "ts": ts_us,
+                    "args": args,
+                }
+            )
+        for event in sample.events:
+            self.events.append(
+                {
+                    "name": event.get("name", "event"),
+                    "cat": event.get("source", "event"),
+                    "ph": "i",
+                    "s": "t",
+                    "pid": self._VIRTUAL_PID,
+                    "tid": 1,
+                    "ts": ts_us,
+                    "args": {
+                        k: v
+                        for k, v in event.items()
+                        if k not in ("name", "source")
+                    },
+                }
+            )
+        self._virtual_ns += sample.runtime_ns
+
+    def on_finish(self, summary: dict) -> None:
+        profile: Dict[str, dict] = summary.get("profile") or {}
+        if profile:
+            self._meta(self._HOST_PID, "simulator host profile")
+        ts_us = 0.0
+        for phase, entry in profile.items():
+            dur_us = entry["seconds"] * 1e6
+            self.events.append(
+                {
+                    "name": phase,
+                    "cat": "host",
+                    "ph": "X",
+                    "pid": self._HOST_PID,
+                    "tid": 0,
+                    "ts": ts_us,
+                    "dur": dur_us,
+                    "args": {"calls": entry["calls"]},
+                }
+            )
+            ts_us += dur_us
+        self.events.append(
+            {
+                "name": "summary",
+                "ph": "M",
+                "pid": self._VIRTUAL_PID,
+                "tid": 0,
+                "args": {
+                    k: v for k, v in summary.items() if k != "profile"
+                },
+            }
+        )
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        payload = {"traceEvents": self.events, "displayTimeUnit": "ms"}
+        with self.path.open("w", encoding="utf-8") as fh:
+            json.dump(payload, fh, sort_keys=True)
+            fh.write("\n")

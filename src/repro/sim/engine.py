@@ -21,6 +21,7 @@ Each epoch the engine:
 from __future__ import annotations
 
 import random
+from contextlib import nullcontext
 
 from repro.config import SimConfig
 from repro.core.policy import PlacementPolicy, PolicyBinding
@@ -31,15 +32,20 @@ from repro.guestos.kernel import GuestKernel
 from repro.guestos.numa import NodeTier
 from repro.hw.cache import LastLevelCache, RegionAccess
 from repro.hw.endurance import WearTracker
-from repro.hw.memdevice import MemoryDevice
+from repro.hw.memdevice import MemoryDevice, topology_sort_key
 from repro.hw.timing import DeviceDemand, MemoryTimingModel
 from repro.mem.extent import PageType
+from repro.obs.bus import Telemetry
+from repro.obs.sample import SAMPLE_FORMAT_VERSION, EpochSample
 from repro.sim.stats import RunResult, RunStats
 from repro.units import PAGE_SIZE
 from repro.vmm.domain import Domain
 from repro.vmm.hypervisor import Hypervisor
 from repro.vmm.sharing import MaxMinSharing
 from repro.workloads.base import EpochDemand, RegionSpec, Workload
+
+#: Shared no-op context for profiling-off runs (no per-phase allocation).
+_NO_PHASE = nullcontext()
 
 
 def build_single_vm(
@@ -103,6 +109,7 @@ class SimulationEngine:
         domain: Domain | None = None,
         kernel: GuestKernel | None = None,
         record_timeseries: bool = False,
+        telemetry: Telemetry | None = None,
     ) -> None:
         self.config = config
         self.workload = workload
@@ -126,10 +133,15 @@ class SimulationEngine:
         self.timeseries: list[dict] = []
         self.region_specs: dict[str, RegionSpec] = {}
         self.stats = RunStats()
+        #: Telemetry bus; sampling happens only when one is attached and
+        #: enabled — otherwise step() takes the exact untelemetered path.
+        self.telemetry = telemetry
+        self._sampling = telemetry is not None and telemetry.enabled
         policy.bind(
             PolicyBinding(
                 kernel=kernel, hypervisor=hypervisor, domain=domain,
                 rng=self.rng,
+                telemetry=telemetry if self._sampling else None,
             )
         )
         #: The slowest device, used to account swapped extents' misses.
@@ -137,6 +149,21 @@ class SimulationEngine:
             (node.device for node in kernel.nodes.values()),
             key=lambda d: d.bandwidth_gbps,
         )
+        if self._sampling:
+            assert telemetry is not None
+            hypervisor.migration_engine.observer = telemetry.migration_event
+            # Baselines for cumulative counters sampled as per-epoch
+            # deltas (policy/kernel state may be reused across engines).
+            self._prev_tlb = hypervisor.tlb.snapshot()
+            self._prev_migrated = int(getattr(policy, "pages_migrated", 0))
+            self._prev_demoted = int(getattr(policy, "pages_demoted", 0))
+            self._prev_scan_cost = float(getattr(policy, "scan_cost_ns", 0.0))
+            self._prev_migration_cost = float(
+                getattr(policy, "migration_cost_ns", 0.0)
+            )
+            self._prev_swap_out = kernel.swap.stats.pages_out
+            self._prev_swap_in = kernel.swap.stats.pages_in
+            self._run_opened = False
 
     # ------------------------------------------------------------------
     # Run loop
@@ -148,6 +175,13 @@ class SimulationEngine:
             self.step(demand)
         return self.result()
 
+    def _phase(self, name: str):
+        """Profiler bracket for one engine phase; free when profiling is
+        off (shared null context, no allocation)."""
+        if self._sampling and self.telemetry.profiler is not None:
+            return self.telemetry.profiler.phase(name)
+        return _NO_PHASE
+
     def step(self, demand: EpochDemand) -> None:
         """Advance one epoch."""
         epoch = demand.epoch
@@ -155,25 +189,39 @@ class SimulationEngine:
         kernel.begin_epoch(epoch)
         overhead_ns = self.policy.on_epoch_start(epoch)
 
-        self._apply_frees(demand)
-        self._apply_allocs(demand)
-        self._apply_touches(demand)
+        with self._phase("demand"):
+            self._apply_frees(demand)
+            self._apply_allocs(demand)
+            self._apply_touches(demand)
 
-        device_demands, llc_misses = self._memory_demands(demand)
+        with self._phase("cache"):
+            device_demands, llc_misses = self._memory_demands(demand)
         channel = self.hypervisor.channel(self.domain.domain_id)
         channel.vmm_record_epoch(llc_misses, demand.instructions)
         self.policy.on_llc_sample(llc_misses, demand.instructions)
 
-        overhead_ns += self.policy.on_epoch_end(epoch)
+        with self._phase("policy"):
+            overhead_ns += self.policy.on_epoch_end(epoch)
         kernel_cost_ns = kernel.drain_pending_cost()
 
-        cpu_ns = self.timing.cpu.cpu_ns(demand.instructions)
-        stall_total = 0.0
-        for device, device_demand in device_demands.items():
-            stall = self.timing.stall_ns(device, device_demand, self.workload.mlp)
-            self.stats.add_stall(device.name, stall)
-            stall_total += stall
+        with self._phase("timing"):
+            cpu_ns = self.timing.cpu.cpu_ns(demand.instructions)
+            # Deterministic topology order (fastest first) so per-device
+            # accumulators and timelines are byte-stable across runs.
+            stall_total = 0.0
+            epoch_stalls: dict[str, float] = {}
+            for device in sorted(device_demands, key=topology_sort_key):
+                stall = self.timing.stall_ns(
+                    device, device_demands[device], self.workload.mlp
+                )
+                self.stats.add_stall(device.name, stall)
+                epoch_stalls[device.name] = stall
+                stall_total += stall
 
+        epoch_traffic = sum(d.traffic_bytes for d in device_demands.values())
+        epoch_accesses = sum(
+            reads + writes for reads, writes in demand.accesses.values()
+        )
         self.stats.epochs += 1
         self.stats.cpu_ns += cpu_ns
         self.stats.io_wait_ns += demand.io_wait_ns
@@ -181,17 +229,28 @@ class SimulationEngine:
         self.stats.kernel_cost_ns += kernel_cost_ns
         self.stats.instructions += demand.instructions
         self.stats.llc_misses += llc_misses
-        self.stats.traffic_bytes += sum(
-            d.traffic_bytes for d in device_demands.values()
-        )
-        self.stats.total_accesses += sum(
-            reads + writes for reads, writes in demand.accesses.values()
-        )
+        self.stats.traffic_bytes += epoch_traffic
+        self.stats.total_accesses += epoch_accesses
         epoch_runtime_ns = (
             cpu_ns + demand.io_wait_ns + stall_total + overhead_ns
             + kernel_cost_ns
         )
         self.stats.runtime_ns += epoch_runtime_ns
+
+        if self._sampling:
+            with self._phase("sample"):
+                self._sample_epoch(
+                    demand=demand,
+                    device_demands=device_demands,
+                    epoch_stalls=epoch_stalls,
+                    llc_misses=llc_misses,
+                    cpu_ns=cpu_ns,
+                    overhead_ns=overhead_ns,
+                    kernel_cost_ns=kernel_cost_ns,
+                    epoch_runtime_ns=epoch_runtime_ns,
+                    epoch_traffic=epoch_traffic,
+                    epoch_accesses=epoch_accesses,
+                )
 
         if self.record_timeseries:
             fast_pages = sum(
@@ -217,6 +276,117 @@ class SimulationEngine:
                     "overhead_ns": overhead_ns + kernel_cost_ns,
                 }
             )
+
+    # ------------------------------------------------------------------
+    # Telemetry sampling
+    # ------------------------------------------------------------------
+
+    def _sample_epoch(
+        self,
+        *,
+        demand: EpochDemand,
+        device_demands: dict[MemoryDevice, DeviceDemand],
+        epoch_stalls: dict[str, float],
+        llc_misses: float,
+        cpu_ns: float,
+        overhead_ns: float,
+        kernel_cost_ns: float,
+        epoch_runtime_ns: float,
+        epoch_traffic: float,
+        epoch_accesses: float,
+    ) -> None:
+        """Publish this epoch's :class:`EpochSample` to the bus.
+
+        Additive fields carry the *exact* values just added to the
+        ``RunStats`` accumulators, so re-summing a timeline in epoch
+        order reproduces the final aggregates bit-for-bit.  Cumulative
+        policy/TLB/swap counters are sampled as deltas against the
+        previous epoch's snapshot.
+        """
+        telemetry = self.telemetry
+        assert telemetry is not None
+        if not self._run_opened:
+            self._run_opened = True
+            telemetry.open_run(
+                {
+                    "format_version": SAMPLE_FORMAT_VERSION,
+                    "workload": self.workload.name,
+                    "policy": self.policy.name,
+                    "metric": self.workload.metric,
+                    "seed": self.config.seed,
+                }
+            )
+        kernel = self.kernel
+        policy = self.policy
+        tlb_now = self.hypervisor.tlb.snapshot()
+        tlb_delta = tlb_now.delta(self._prev_tlb)
+        self._prev_tlb = tlb_now
+        migrated = int(getattr(policy, "pages_migrated", 0))
+        demoted = int(getattr(policy, "pages_demoted", 0))
+        scan_cost = float(getattr(policy, "scan_cost_ns", 0.0))
+        migration_cost = float(getattr(policy, "migration_cost_ns", 0.0))
+        swap_out = kernel.swap.stats.pages_out
+        swap_in = kernel.swap.stats.pages_in
+        fast_used = sum(
+            kernel.nodes[nid].used_pages for nid in kernel.fast_node_ids
+        )
+        fast_free = sum(
+            kernel.nodes[nid].free_pages for nid in kernel.fast_node_ids
+        )
+        traffic_by_device = {
+            device.name: device_demands[device].traffic_bytes
+            for device in sorted(device_demands, key=topology_sort_key)
+        }
+        alloc_by_type: dict[str, list] = {}
+        requested = 0
+        granted = 0
+        for page_type in sorted(kernel.epoch_stats, key=lambda pt: pt.value):
+            type_stats = kernel.epoch_stats[page_type]
+            if type_stats.requested_pages == 0:
+                continue
+            alloc_by_type[page_type.value] = [
+                type_stats.requested_pages,
+                type_stats.fast_granted_pages,
+            ]
+            requested += type_stats.requested_pages
+            granted += type_stats.fast_granted_pages
+        sample = EpochSample(
+            epoch=demand.epoch,
+            runtime_ns=epoch_runtime_ns,
+            cpu_ns=cpu_ns,
+            io_wait_ns=demand.io_wait_ns,
+            policy_overhead_ns=overhead_ns,
+            kernel_cost_ns=kernel_cost_ns,
+            instructions=demand.instructions,
+            llc_misses=llc_misses,
+            llc_misses_cumulative=self.stats.llc_misses,
+            traffic_bytes=epoch_traffic,
+            total_accesses=epoch_accesses,
+            tlb_flushes=tlb_delta.flushes,
+            tlb_shootdowns=tlb_delta.shootdowns,
+            pages_migrated=migrated - self._prev_migrated,
+            pages_demoted=demoted - self._prev_demoted,
+            scan_cost_ns=scan_cost - self._prev_scan_cost,
+            migration_cost_ns=migration_cost - self._prev_migration_cost,
+            swap_pages_out=swap_out - self._prev_swap_out,
+            swap_pages_in=swap_in - self._prev_swap_in,
+            fast_used_pages=fast_used,
+            fast_free_pages=fast_free,
+            alloc_requested_pages=requested,
+            alloc_fast_granted_pages=granted,
+            stall_ns_by_device=epoch_stalls,
+            traffic_by_device=traffic_by_device,
+            alloc_by_type=alloc_by_type,
+            occupancy=kernel.occupancy_snapshot(),
+            events=telemetry.drain_events(),
+        )
+        self._prev_migrated = migrated
+        self._prev_demoted = demoted
+        self._prev_scan_cost = scan_cost
+        self._prev_migration_cost = migration_cost
+        self._prev_swap_out = swap_out
+        self._prev_swap_in = swap_in
+        telemetry.publish(sample)
 
     # ------------------------------------------------------------------
     # Demand application
@@ -352,6 +522,28 @@ class SimulationEngine:
         if self.sanitizer is not None:
             self.sanitizer.reconcile(kernel)
             sanitizer_reports = list(self.sanitizer.reports)
+        # Deterministic topology order for the per-device stall map:
+        # insertion order depends on which epoch first touched a device,
+        # so normalise before the dict reaches timelines or caches.
+        devices_by_name = {
+            node.device.name: node.device for node in kernel.nodes.values()
+        }
+        self.stats.stall_ns_by_device = {
+            name: self.stats.stall_ns_by_device[name]
+            for name in sorted(
+                self.stats.stall_ns_by_device,
+                key=lambda n: (
+                    topology_sort_key(devices_by_name[n])
+                    if n in devices_by_name
+                    else (float("inf"), 0.0, n)
+                ),
+            )
+        }
+        timeline = None
+        if self._sampling:
+            assert self.telemetry is not None
+            self.telemetry.close_run(self._summary())
+            timeline = self.telemetry.timeline()
         return RunResult(
             workload_name=self.workload.name,
             policy_name=policy.name,
@@ -372,4 +564,35 @@ class SimulationEngine:
                 for name in self.wear.write_bytes
             },
             sanitizer_reports=sanitizer_reports,
+            timeline=timeline,
         )
+
+    def _summary(self) -> dict:
+        """Final JSON-safe aggregates for the telemetry summary record."""
+        policy = self.policy
+        kernel = self.kernel
+        return {
+            "format_version": SAMPLE_FORMAT_VERSION,
+            "workload": self.workload.name,
+            "policy": policy.name,
+            "epochs": self.stats.epochs,
+            "runtime_ns": self.stats.runtime_ns,
+            "cpu_ns": self.stats.cpu_ns,
+            "io_wait_ns": self.stats.io_wait_ns,
+            "stall_ns_by_device": dict(self.stats.stall_ns_by_device),
+            "policy_overhead_ns": self.stats.policy_overhead_ns,
+            "kernel_cost_ns": self.stats.kernel_cost_ns,
+            "instructions": self.stats.instructions,
+            "llc_misses": self.stats.llc_misses,
+            "mpki": self.stats.mpki,
+            "traffic_bytes": self.stats.traffic_bytes,
+            "total_accesses": self.stats.total_accesses,
+            "pages_migrated": int(getattr(policy, "pages_migrated", 0)),
+            "pages_demoted": int(getattr(policy, "pages_demoted", 0)),
+            "scan_cost_ns": float(getattr(policy, "scan_cost_ns", 0.0)),
+            "migration_cost_ns": float(
+                getattr(policy, "migration_cost_ns", 0.0)
+            ),
+            "swap_pages_out": kernel.swap.stats.pages_out,
+            "swap_pages_in": kernel.swap.stats.pages_in,
+        }

@@ -53,6 +53,9 @@ from repro.core.policy import make_policy
 from repro.errors import ReproError, SweepError
 from repro.hw.throttle import ThrottleConfig
 from repro.hw.topology import remote_dram
+from repro.obs.bus import Telemetry
+from repro.obs.sample import EpochSample
+from repro.obs.sinks import json_line
 from repro.sim.runner import build_config, run_experiment
 from repro.sim.stats import RunResult
 from repro.vmm.hotness import HotnessConfig
@@ -211,8 +214,14 @@ def make_spec(
     )
 
 
-def run_spec(spec: ExperimentSpec) -> RunResult:
-    """Execute one spec; the single simulation path every mode shares."""
+def run_spec(
+    spec: ExperimentSpec, telemetry: "Telemetry | None" = None
+) -> RunResult:
+    """Execute one spec; the single simulation path every mode shares.
+
+    ``telemetry`` is deliberately *not* part of the spec: observation
+    never affects results, so it must not perturb cache keys either.
+    """
     policy = make_policy(spec.policy, **dict(spec.policy_args))
     device = None
     if spec.slow_device is not None:
@@ -234,7 +243,13 @@ def run_spec(spec: ExperimentSpec) -> RunResult:
     )
     if spec.hotness is not None:
         config.hotness_config = HotnessConfig(**dict(spec.hotness))
-    return run_experiment(spec.app, policy, epochs=spec.epochs, config=config)
+    return run_experiment(
+        spec.app,
+        policy,
+        epochs=spec.epochs,
+        config=config,
+        telemetry=telemetry,
+    )
 
 
 # ----------------------------------------------------------------------
@@ -284,6 +299,13 @@ class ResultCache:
     error — a poisoned cache directory can slow a sweep down but cannot
     change its results.  Writes are atomic (temp file + ``os.replace``)
     so parallel sweeps sharing a directory never read half a pickle.
+
+    Timelines ride along as *sidecars*: the pickled payload always
+    stores the result with ``timeline=None`` (keeping the determinism
+    surface and the entry format stable), and a captured timeline is
+    written next to it as ``<key>.timeline.jsonl``.  A lookup that
+    requires the timeline (``with_timeline=True``) treats a missing or
+    corrupt sidecar as a miss so the run re-executes and re-records it.
     """
 
     FORMAT_VERSION = 1
@@ -296,8 +318,15 @@ class ResultCache:
     def path_for(self, key: str) -> Path:
         return self.directory / f"{key}.pickle"
 
+    def timeline_path_for(self, key: str) -> Path:
+        """The JSONL timeline sidecar accompanying one cache entry."""
+        return self.directory / f"{key}.timeline.jsonl"
+
     def lookup(
-        self, spec: ExperimentSpec, fingerprint: str
+        self,
+        spec: ExperimentSpec,
+        fingerprint: str,
+        with_timeline: bool = False,
     ) -> "RunResult | None":
         key = spec.cache_key(fingerprint)
         path = self.path_for(key)
@@ -317,8 +346,17 @@ class ResultCache:
             self.misses += 1
             self._evict(path)
             return None
+        result = payload["result"]
+        if with_timeline:
+            timeline = self._load_timeline(key)
+            if timeline is None:
+                # Entry predates timeline capture (or sidecar rotted):
+                # re-run to record one; the re-store refreshes both files.
+                self.misses += 1
+                return None
+            result = dataclasses.replace(result, timeline=timeline)
         self.hits += 1
-        return payload["result"]
+        return result
 
     def store(
         self, spec: ExperimentSpec, fingerprint: str, result: RunResult
@@ -326,10 +364,15 @@ class ResultCache:
         """Best-effort atomic write; cache I/O failure is not an error."""
         key = spec.cache_key(fingerprint)
         path = self.path_for(key)
+        timeline = result.timeline
         payload = {
             "version": self.FORMAT_VERSION,
             "spec": spec.canonical(),
-            "result": result,
+            "result": (
+                dataclasses.replace(result, timeline=None)
+                if timeline is not None
+                else result
+            ),
         }
         try:
             self.directory.mkdir(parents=True, exist_ok=True)
@@ -337,8 +380,36 @@ class ResultCache:
             with open(tmp, "wb") as handle:
                 pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
             os.replace(tmp, path)
+            if timeline is not None:
+                self._store_timeline(key, timeline)
         except (OSError, pickle.PicklingError):
             pass
+
+    def _store_timeline(
+        self, key: str, timeline: "list[EpochSample]"
+    ) -> None:
+        sidecar = self.timeline_path_for(key)
+        tmp = sidecar.with_suffix(f".tmp-{os.getpid()}")
+        try:
+            with open(tmp, "w", encoding="utf-8") as handle:
+                for sample in timeline:
+                    handle.write(json_line(sample.to_dict()) + "\n")
+            os.replace(tmp, sidecar)
+        except (OSError, TypeError, ValueError):
+            pass
+
+    def _load_timeline(self, key: str) -> "list[EpochSample] | None":
+        """Sidecar samples, or ``None`` when absent/corrupt (→ miss)."""
+        sidecar = self.timeline_path_for(key)
+        try:
+            with open(sidecar, "r", encoding="utf-8") as handle:
+                return [
+                    EpochSample.from_dict(json.loads(line))
+                    for line in handle
+                    if line.strip()
+                ]
+        except (OSError, ValueError, TypeError, ReproError):
+            return None
 
     def _evict(self, path: Path) -> None:
         try:
@@ -446,12 +517,18 @@ def _timeout_supported() -> bool:
 
 
 def _run_one(
-    spec: ExperimentSpec, timeout_sec: "float | None"
+    spec: ExperimentSpec,
+    timeout_sec: "float | None",
+    capture_timeline: bool = False,
 ) -> "tuple[str, object, float]":
     """Run one spec under an optional SIGALRM budget.
 
     Returns ``(status, payload, elapsed_sec)`` where status is ``"ok"``
     (payload: RunResult), ``"timeout"``, or ``"error"`` (payload: str).
+    When ``capture_timeline`` is set the run carries a fresh in-memory
+    telemetry bus and the returned result has ``.timeline`` populated
+    (``EpochSample`` is a plain dataclass, so timelines pickle cleanly
+    across the worker boundary).
     """
     start = _wall_sec()
     use_alarm = timeout_sec is not None and _timeout_supported()
@@ -465,7 +542,8 @@ def _run_one(
         previous = signal.signal(signal.SIGALRM, _on_alarm)
         signal.setitimer(signal.ITIMER_REAL, timeout_sec)
     try:
-        result = run_spec(spec)
+        telemetry = Telemetry() if capture_timeline else None
+        result = run_spec(spec, telemetry=telemetry)
         return ("ok", result, _wall_sec() - start)
     except _SpecTimeout as exc:
         return ("timeout", str(exc), _wall_sec() - start)
@@ -482,10 +560,14 @@ def _run_one(
 
 
 def _run_chunk(
-    specs: "list[ExperimentSpec]", timeout_sec: "float | None"
+    specs: "list[ExperimentSpec]",
+    timeout_sec: "float | None",
+    capture_timelines: bool = False,
 ) -> "list[tuple[str, object, float]]":
     """Worker entry point: run a chunk of specs sequentially."""
-    return [_run_one(spec, timeout_sec) for spec in specs]
+    return [
+        _run_one(spec, timeout_sec, capture_timelines) for spec in specs
+    ]
 
 
 def _outcome_from_status(
@@ -531,6 +613,7 @@ def run_specs(
     chunk_size: "int | None" = None,
     progress: "Optional[ProgressFn]" = None,
     fingerprint: "str | None" = None,
+    capture_timelines: bool = False,
 ) -> "list[SpecOutcome]":
     """Execute a grid, returning one :class:`SpecOutcome` per input spec.
 
@@ -543,6 +626,12 @@ def run_specs(
     bounds each spec's wall-clock budget (enforced in the executing
     process via ``SIGALRM`` where available).  ``progress`` is invoked
     as ``progress(outcome, done, total)`` after every grid point.
+
+    ``capture_timelines`` attaches an in-memory telemetry bus to every
+    simulated spec so each ``RunResult`` carries its per-epoch timeline.
+    Telemetry never enters the cache key; timelines persist as JSONL
+    sidecars next to the pickled entry, and a cached entry without a
+    sidecar simply re-runs.
     """
     ordered = list(specs)
     resolved_cache = _resolve_cache(cache)
@@ -568,7 +657,9 @@ def run_specs(
     misses: "list[ExperimentSpec]" = []
     for spec, indexes in pending.items():
         cached = (
-            resolved_cache.lookup(spec, fingerprint)
+            resolved_cache.lookup(
+                spec, fingerprint, with_timeline=capture_timelines
+            )
             if resolved_cache is not None
             else None
         )
@@ -596,7 +687,9 @@ def run_specs(
     if not parallel:
         for spec in misses:
             _finish(spec, _outcome_from_status(
-                spec, _run_one(spec, timeout_sec), "serial"
+                spec,
+                _run_one(spec, timeout_sec, capture_timelines),
+                "serial",
             ))
         return [outcomes[i] for i in range(len(ordered))]
 
@@ -617,13 +710,17 @@ def run_specs(
         # graceful serial fallback, same execution path.
         for spec in misses:
             _finish(spec, _outcome_from_status(
-                spec, _run_one(spec, timeout_sec), "serial"
+                spec,
+                _run_one(spec, timeout_sec, capture_timelines),
+                "serial",
             ))
         return [outcomes[i] for i in range(len(ordered))]
 
     try:
         futures = {
-            executor.submit(_run_chunk, chunk, timeout_sec): chunk
+            executor.submit(
+                _run_chunk, chunk, timeout_sec, capture_timelines
+            ): chunk
             for chunk in chunks
         }
         for future in as_completed(futures):

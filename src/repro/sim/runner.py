@@ -64,11 +64,15 @@ def run_experiment(
     slow_device: MemoryDevice | None = None,
     seed: int = 7,
     config: SimConfig | None = None,
+    telemetry=None,
 ) -> RunResult:
     """Run one (application, policy, platform) combination.
 
     Pass ``config`` to override platform construction entirely.  The
-    FastMem-only policy automatically gets unlimited FastMem.
+    FastMem-only policy automatically gets unlimited FastMem.  Pass a
+    ``repro.obs.Telemetry`` bus as ``telemetry`` to capture a per-epoch
+    timeline (attached to ``RunResult.timeline``) and stream to any
+    configured sinks; telemetry never changes simulated results.
     """
     workload = make_workload(app) if isinstance(app, str) else app
     placement = make_policy(policy) if isinstance(policy, str) else policy
@@ -82,5 +86,5 @@ def run_experiment(
             unlimited_fast=placement.requires_unlimited_fast,
             seed=seed,
         )
-    engine = SimulationEngine(config, workload, placement)
+    engine = SimulationEngine(config, workload, placement, telemetry=telemetry)
     return engine.run(epochs)

@@ -71,6 +71,12 @@ class RunResult:
     #: run was configured with ``SimConfig(sanitize=True)``; empty on a
     #: clean (or unsanitized) run.
     sanitizer_reports: list = field(default_factory=list)
+    #: Per-epoch ``repro.obs.EpochSample`` list when the run carried a
+    #: telemetry bus with an in-memory sink; ``None`` otherwise.  Not
+    #: part of the determinism-equivalence surface: cached results store
+    #: it as a sidecar, and the PR 3 harness compares results with the
+    #: timeline stripped.
+    timeline: list | None = None
 
     @property
     def runtime_sec(self) -> float:

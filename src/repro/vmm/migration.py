@@ -117,6 +117,10 @@ class MigrationEngine:
     #: Report accumulating the pass bracketed by begin_pass()/commit_pass();
     #: ``None`` when no pass is open.
     in_flight: "MigrationReport | None" = None
+    #: Optional ``callback(kind, report)`` invoked at each pass boundary
+    #: with kind "begin" | "commit" | "abort".  Duck-typed so telemetry
+    #: (repro.obs, a higher layer) can attach without an import here.
+    observer: "Callable[[str, MigrationReport], None] | None" = None
 
     # ------------------------------------------------------------------
     # Pass bracketing
@@ -135,6 +139,8 @@ class MigrationEngine:
         if self.in_flight is not None:
             raise MigrationError("migration pass already in flight")
         self.in_flight = MigrationReport()
+        if self.observer is not None:
+            self.observer("begin", self.in_flight)
         return self.in_flight
 
     def commit_pass(self) -> MigrationReport:
@@ -144,6 +150,8 @@ class MigrationEngine:
         report = self.in_flight
         self.in_flight = None
         self.total.merge(report)
+        if self.observer is not None:
+            self.observer("commit", report)
         return report
 
     def abort_pass(self) -> MigrationReport:
@@ -153,6 +161,8 @@ class MigrationEngine:
             raise MigrationError("no migration pass in flight")
         report = self.in_flight
         self.in_flight = None
+        if self.observer is not None:
+            self.observer("abort", report)
         return report
 
     def migrate(

@@ -1,5 +1,7 @@
 """Command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -59,3 +61,86 @@ def test_parser_requires_subcommand():
 def test_unknown_app_raises():
     with pytest.raises(Exception):
         main(["run", "doom", "hetero-lru", "--epochs", "1"])
+
+
+def test_trace_command_emits_chrome_trace_and_jsonl(tmp_path, capsys):
+    trace_path = tmp_path / "run.trace.json"
+    code = main(
+        [
+            "trace", "redis", "hetero-coordinated",
+            "--epochs", "4", "--out", str(trace_path),
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "traced" in out
+    assert "profile" in out  # host self-profile breakdown printed
+    trace = json.loads(trace_path.read_text())
+    assert trace["displayTimeUnit"] == "ms"
+    assert any(e["ph"] == "X" for e in trace["traceEvents"])
+    jsonl_path = trace_path.with_suffix(".jsonl")
+    lines = [
+        json.loads(line)
+        for line in jsonl_path.read_text().splitlines()
+    ]
+    assert lines[0]["type"] == "header"
+    assert lines[-1]["type"] == "summary"
+    samples = [l for l in lines if l["type"] == "sample"]
+    assert len(samples) == 4
+    # Per-epoch runtime sums exactly to the summary's final runtime.
+    total = 0.0
+    for sample in samples:
+        total += sample["runtime_ns"]
+    assert total == lines[-1]["runtime_ns"]
+
+
+def test_timeline_summary_command(tmp_path, capsys):
+    trace_path = tmp_path / "run.trace.json"
+    jsonl_path = tmp_path / "run.jsonl"
+    main(
+        [
+            "trace", "redis", "hetero-lru", "--epochs", "3",
+            "--out", str(trace_path), "--jsonl", str(jsonl_path),
+            "--no-profile",
+        ]
+    )
+    capsys.readouterr()
+    assert main(["timeline", str(jsonl_path)]) == 0
+    out = capsys.readouterr().out
+    assert "epoch" in out
+
+
+def _trace_jsonl(tmp_path, name, seed):
+    jsonl_path = tmp_path / name
+    main(
+        [
+            "trace", "redis", "random", "--epochs", "3",
+            "--seed", str(seed),
+            "--out", str(tmp_path / (name + ".trace.json")),
+            "--jsonl", str(jsonl_path), "--no-profile",
+        ]
+    )
+    return jsonl_path
+
+
+def test_timeline_diff_reports_first_divergence(tmp_path, capsys):
+    a = _trace_jsonl(tmp_path, "a.jsonl", seed=7)
+    b = _trace_jsonl(tmp_path, "b.jsonl", seed=8)
+    capsys.readouterr()
+    code = main(["timeline", "--diff", str(a), str(b)])
+    assert code == 1
+    out = capsys.readouterr().out
+    assert "first divergent epoch: 0" in out
+
+
+def test_timeline_diff_identical_files_exit_zero(tmp_path, capsys):
+    a = _trace_jsonl(tmp_path, "a.jsonl", seed=7)
+    b = _trace_jsonl(tmp_path, "b2.jsonl", seed=7)
+    capsys.readouterr()
+    code = main(["timeline", "--diff", str(a), str(b)])
+    assert code == 0
+    assert "identical" in capsys.readouterr().out
+
+
+def test_timeline_requires_path_or_diff(capsys):
+    assert main(["timeline"]) == 2

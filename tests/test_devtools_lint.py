@@ -224,6 +224,40 @@ def test_unordered_placement_allows_sorted_and_other_layers():
 
 
 # ----------------------------------------------------------------------
+# no-print
+# ----------------------------------------------------------------------
+
+
+def test_no_print_flags_library_code():
+    src = "def f(x):\n    print(x)\n    return x\n"
+    hits = rule_hits(src, rule_id="no-print")
+    assert len(hits) == 1
+    assert hits[0].line == 2
+
+
+def test_no_print_exempts_cli_package():
+    src = "def report(msg):\n    print(msg)\n"
+    assert not rule_hits(
+        src, relpath="src/repro/cli.py", rule_id="no-print"
+    )
+    assert not rule_hits(
+        src, relpath="src/repro/__main__.py", rule_id="no-print"
+    )
+
+
+def test_no_print_suppressible():
+    src = "print('debug')  # heterolint: disable=no-print\n"
+    report = lint_source(src, relpath="src/repro/sim/s.py")
+    assert not [f for f in report.findings if f.rule_id == "no-print"]
+    assert any(s.rule_id == "no-print" for s in report.suppressed)
+
+
+def test_no_print_ignores_shadowed_name():
+    src = "def f(print):\n    return print\n"
+    assert not rule_hits(src, rule_id="no-print")
+
+
+# ----------------------------------------------------------------------
 # Suppressions
 # ----------------------------------------------------------------------
 

@@ -1,10 +1,12 @@
 """TLB cost meter, perf counters, NUMA topology."""
 
+import dataclasses
+
 import pytest
 
 from repro.errors import ConfigurationError
-from repro.hw.counters import PerfCounters
-from repro.hw.memdevice import DRAM
+from repro.hw.counters import PerfCounters, ZERO_SNAPSHOT
+from repro.hw.memdevice import DRAM, NVM_PCM, topology_sort_key
 from repro.hw.tlb import Tlb, TlbConfig
 from repro.hw.topology import (
     NumaTopology,
@@ -74,6 +76,108 @@ def test_counters_mpki():
     counters.record_epoch(1000.0, 1_000_000)
     assert counters.mpki == pytest.approx(1.0)
     assert counters.last_llc_misses == 1000.0
+
+
+# ----------------------------------------------------------------------
+# Counter snapshots (perf-style read/delta/reset)
+# ----------------------------------------------------------------------
+
+def test_snapshot_read_is_cumulative():
+    counters = PerfCounters()
+    assert counters.read() == ZERO_SNAPSHOT
+    counters.record_epoch(100.0, 1e6)
+    counters.record_epoch(50.0, 2e6)
+    snap = counters.read()
+    assert snap.epochs == 2
+    assert snap.llc_misses == pytest.approx(150.0)
+    assert snap.instructions == pytest.approx(3e6)
+
+
+def test_snapshot_delta_gives_interval_contribution():
+    counters = PerfCounters()
+    counters.record_epoch(100.0, 1e6)
+    first = counters.read()
+    counters.record_epoch(40.0, 5e5)
+    counters.record_epoch(60.0, 5e5)
+    interval = counters.read().delta(first)
+    assert interval.epochs == 2
+    assert interval.llc_misses == pytest.approx(100.0)
+    assert interval.instructions == pytest.approx(1e6)
+    assert interval.mpki == pytest.approx(0.1)
+
+
+def test_snapshot_totals_are_wraparound_free():
+    # Unlike 32/48-bit MSRs, totals accumulate in Python numbers: values
+    # far past any hardware counter width still delta exactly.
+    counters = PerfCounters()
+    counters.record_epoch(2.0**48, 2.0**53)
+    before = counters.read()
+    counters.record_epoch(2.0**48, 2.0**53)
+    interval = counters.read().delta(before)
+    assert interval.llc_misses == 2.0**48
+    assert interval.instructions == 2.0**53
+    assert counters.read().llc_misses == 2.0**49
+
+
+def test_snapshot_delta_rejects_reversed_order():
+    counters = PerfCounters()
+    counters.record_epoch(100.0, 1e6)
+    earlier = counters.read()
+    counters.record_epoch(100.0, 1e6)
+    later = counters.read()
+    with pytest.raises(ConfigurationError):
+        earlier.delta(later)
+
+
+def test_snapshot_delta_rejects_crossing_a_reset():
+    counters = PerfCounters()
+    counters.record_epoch(100.0, 1e6)
+    before_reset = counters.read()
+    counters.reset()
+    assert counters.read() == ZERO_SNAPSHOT
+    counters.record_epoch(10.0, 1e5)
+    with pytest.raises(ConfigurationError):
+        counters.read().delta(before_reset)
+
+
+def test_reset_clears_history_and_totals():
+    counters = PerfCounters()
+    counters.record_epoch(100.0, 1e6)
+    counters.record_epoch(150.0, 1e6)
+    counters.reset()
+    assert counters.llc_miss_delta() == 0.0
+    assert counters.last_llc_misses == 0.0
+    assert counters.mpki == 0.0
+
+
+def test_tlb_snapshot_delta():
+    tlb = Tlb()
+    tlb.flush()
+    before = tlb.snapshot()
+    tlb.flush()
+    tlb.shootdown()
+    interval = tlb.snapshot().delta(before)
+    assert interval.flushes == 1
+    assert interval.shootdowns == 1
+
+
+# ----------------------------------------------------------------------
+# Deterministic device ordering
+# ----------------------------------------------------------------------
+
+def test_topology_sort_key_orders_fastest_first():
+    devices = [NVM_PCM, DRAM, remote_dram()]
+    ordered = sorted(devices, key=topology_sort_key)
+    assert ordered[0] is DRAM
+    assert ordered[-1] is NVM_PCM
+
+
+def test_topology_sort_key_breaks_latency_ties_by_bandwidth():
+    slow_twin = dataclasses.replace(
+        DRAM, name="dram-narrow", bandwidth_gbps=DRAM.bandwidth_gbps / 2
+    )
+    ordered = sorted([slow_twin, DRAM], key=topology_sort_key)
+    assert ordered[0] is DRAM  # higher bandwidth wins the tie
 
 
 # ----------------------------------------------------------------------
