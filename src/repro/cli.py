@@ -54,6 +54,20 @@ def cmd_list(_args: argparse.Namespace) -> int:
 
 
 def cmd_run(args: argparse.Namespace) -> int:
+    faults = None
+    if args.faults is not None:
+        import json as json_module
+
+        from repro.errors import ConfigurationError
+        from repro.faults import FaultPlan
+
+        try:
+            with open(args.faults, "r", encoding="utf-8") as handle:
+                faults = FaultPlan.from_dict(json_module.load(handle))
+        except (OSError, ValueError, ConfigurationError) as exc:
+            print(f"repro run: bad fault plan {args.faults}: {exc}",
+                  file=sys.stderr)
+            return 1
     result = run_experiment(
         args.app,
         args.policy,
@@ -61,6 +75,7 @@ def cmd_run(args: argparse.Namespace) -> int:
         epochs=args.epochs,
         throttle=(args.latency_factor, args.bandwidth_factor),
         llc_mib=args.llc_mib,
+        faults=faults,
     )
     print(f"workload : {result.workload_name}")
     print(f"policy   : {result.policy_name}")
@@ -74,6 +89,11 @@ def cmd_run(args: argparse.Namespace) -> int:
             f"migrated : {result.pages_migrated} pages "
             f"(demoted {result.pages_demoted})"
         )
+    if result.fault_counts:
+        fired = ", ".join(
+            f"{kind}={count}" for kind, count in result.fault_counts.items()
+        )
+        print(f"faults   : {fired}")
     if args.breakdown:
         from repro.experiments.analysis import (
             allocation_breakdown,
@@ -323,6 +343,22 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             else parallel.default_cache()
         )
 
+    journal = None
+    if cache is not None:
+        journal = parallel.SweepJournal(
+            cache.directory / "sweep-journal.jsonl"
+        )
+        if not args.resume:
+            journal.reset()
+    elif args.resume:
+        print(
+            "repro sweep: --resume needs a journal, which lives in the "
+            "result cache directory; configure --cache-dir (or "
+            "$REPRO_SWEEP_CACHE_DIR) and drop --no-cache",
+            file=sys.stderr,
+        )
+        return 1
+
     def progress(outcome, done, total):
         status = (
             "ok" if outcome.ok else f"{outcome.error.kind}!"
@@ -343,6 +379,9 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             cache=cache,
             timeout_sec=args.timeout,
             progress=progress if not args.quiet else None,
+            retries=args.retries,
+            retry_backoff_sec=args.retry_backoff,
+            journal=journal,
         )
     except SweepError as exc:
         print(f"repro sweep: {exc}", file=sys.stderr)
@@ -378,6 +417,12 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument(
         "--breakdown", action="store_true",
         help="print time and allocation breakdowns",
+    )
+    run_parser.add_argument(
+        "--faults", default=None, metavar="PLAN.json",
+        help="inject faults from a FaultPlan JSON file (see "
+        "docs/resilience.md); same plan + same seed reproduces the "
+        "same run bit-for-bit",
     )
     run_parser.set_defaults(func=cmd_run)
 
@@ -523,6 +568,23 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_parser.add_argument(
         "--quiet", action="store_true",
         help="suppress per-spec progress lines on stderr",
+    )
+    sweep_parser.add_argument(
+        "--retries", type=int, default=0,
+        help="re-run grid points that failed transiently (timeout or "
+        "worker crash) up to N extra times with exponential backoff; "
+        "deterministic simulation errors never retry",
+    )
+    sweep_parser.add_argument(
+        "--retry-backoff", type=float, default=0.5, metavar="SEC",
+        help="base backoff before the first retry round (doubles each "
+        "round)",
+    )
+    sweep_parser.add_argument(
+        "--resume", action="store_true",
+        help="resume an interrupted sweep from its journal (kept in "
+        "the cache directory): cached and journaled grid points are "
+        "not re-run; requires a result cache",
     )
     sweep_parser.set_defaults(func=cmd_sweep)
     return parser

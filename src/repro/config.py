@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.errors import ConfigurationError
+from repro.faults import FaultPlan
 from repro.hw.cache import CacheConfig
 from repro.hw.memdevice import DRAM, MemoryDevice, MemoryKind
 from repro.hw.throttle import DEFAULT_SLOWMEM, ThrottleConfig, throttled_device
@@ -43,6 +44,10 @@ class SimConfig:
     #: Optional hotness-tracker override (scan costs, thresholds) —
     #: used by the Figure 8 overhead sweeps.
     hotness_config: object | None = None
+    #: Deterministic fault schedule (repro.faults).  ``None`` or an
+    #: empty plan means no injector is built at all — the simulator
+    #: takes the exact seed code path (the no-perturbation contract).
+    fault_plan: FaultPlan | None = None
 
     def __post_init__(self) -> None:
         if self.slow_capacity_bytes <= 0:

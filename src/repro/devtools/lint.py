@@ -515,11 +515,72 @@ class BareExceptRule(Rule):
                 )
 
 
+@register
+class SwallowedReproErrorRule(Rule):
+    """``except SomeReproError: pass`` turns a structured failure the
+    simulator deliberately raised into silence.  Degrading is fine —
+    but degradation must *do* something (account the cost, fall back,
+    log); an empty handler hides the event entirely."""
+
+    rule_id = "swallowed-repro-error"
+    rationale = (
+        "ReproError subclasses carry recovery contracts (e.g. "
+        "SwapWriteError guarantees no state changed so the caller can "
+        "retry or charge the cost); an empty handler discards the "
+        "contract and the accounting with it"
+    )
+
+    @staticmethod
+    def _caught_names(node: ast.ExceptHandler) -> "list[str]":
+        if isinstance(node.type, ast.Tuple):
+            candidates = node.type.elts
+        else:
+            candidates = [node.type] if node.type is not None else []
+        names = [_final_name(target) for target in candidates]
+        return [name for name in names if name is not None]
+
+    @staticmethod
+    def _body_is_empty(body: "list[ast.stmt]") -> bool:
+        for stmt in body:
+            if isinstance(stmt, ast.Pass):
+                continue
+            if (
+                isinstance(stmt, ast.Expr)
+                and isinstance(stmt.value, ast.Constant)
+                and (stmt.value.value is Ellipsis
+                     or isinstance(stmt.value.value, str))
+            ):
+                continue  # docstring or ``...`` placeholder
+            return False
+        return True
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        error_names = _repro_error_names()
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if not self._body_is_empty(node.body):
+                continue
+            swallowed = [
+                name for name in self._caught_names(node)
+                if name in error_names
+            ]
+            if swallowed:
+                yield self.finding(
+                    ctx, node,
+                    f"except {', '.join(swallowed)}: pass swallows a "
+                    "structured simulator error; degrade explicitly "
+                    "(account the cost, fall back, or continue with a "
+                    "comment saying why dropping it is correct)",
+                )
+
+
 #: DESIGN.md layering: a package may import strictly lower ranks only.
 #: Equal-rank packages are siblings and must not import each other.
 LAYER_RANKS = {
     "units": 0,
     "errors": 0,
+    "faults": 1,
     "hw": 1,
     "mem": 1,
     "config": 2,

@@ -20,6 +20,14 @@ class OutOfMemoryError(ReproError):
     """A frame pool, node, or machine ran out of capacity."""
 
 
+class SwapWriteError(ReproError):
+    """A swap-device page write failed transiently (no state changed).
+
+    Raised by :class:`repro.guestos.swap.SwapDevice` under fault
+    injection; reclaim paths treat it as "this victim is temporarily
+    unswappable" and move on to the next candidate."""
+
+
 class AllocationError(ReproError):
     """An allocator was used incorrectly (double free, bad order, ...)."""
 

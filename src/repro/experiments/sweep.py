@@ -22,6 +22,7 @@ from repro.sim.parallel import (
     ExperimentSpec,
     ProgressFn,
     ResultCache,
+    SweepJournal,
     make_spec,
     results_or_raise,
     run_cached,
@@ -130,15 +131,20 @@ def sweep(
     cache: ResultCache | str | None = None,
     timeout_sec: float | None = None,
     progress: ProgressFn | None = None,
+    retries: int = 0,
+    retry_backoff_sec: float = 0.5,
+    journal: "SweepJournal | str | None" = None,
 ) -> list[dict]:
     """Run the full grid; each row carries runtime, metric, and gain
     over the same-platform baseline.
 
-    ``max_workers``/``cache``/``timeout_sec``/``progress`` pass through
-    to :func:`repro.sim.parallel.run_specs`; the defaults (serial, no
-    cache) reproduce the historical behaviour exactly.  Any failed grid
-    point raises :class:`~repro.errors.SweepError` with the structured
-    per-spec failures in its message.
+    ``max_workers``/``cache``/``timeout_sec``/``progress``/``retries``/
+    ``retry_backoff_sec``/``journal`` pass through to
+    :func:`repro.sim.parallel.run_specs`; the defaults (serial, no
+    cache, no retry, no journal) reproduce the historical behaviour
+    exactly.  Any failed grid point raises
+    :class:`~repro.errors.SweepError` with the structured per-spec
+    failures in its message.
     """
     specs = expand_grid(
         apps, policies, ratios, throttles, epochs, baseline_policy
@@ -149,6 +155,9 @@ def sweep(
         cache=cache,
         timeout_sec=timeout_sec,
         progress=progress,
+        retries=retries,
+        retry_backoff_sec=retry_backoff_sec,
+        journal=journal,
     )
     results = iter(results_or_raise(outcomes))
     rows = []

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.errors import AllocationError, OutOfMemoryError
+from repro.errors import AllocationError, OutOfMemoryError, SwapWriteError
 from repro.guestos.balloon import BalloonFrontend
 from repro.guestos.lru import SplitLru
 from repro.guestos.numa import MemoryNode, NodeTier
@@ -421,7 +421,17 @@ class GuestKernel:
             else:
                 if self.swap.free_pages < extent.pages:
                     continue  # swap device full; cannot reclaim this one
-                self.pending_cost_ns += self.swap.swap_out(extent.pages)
+                try:
+                    cost = self.swap.swap_out(extent.pages)
+                except SwapWriteError:
+                    # Transient write error: the extent stays resident
+                    # (nothing was written, nothing to unwind); charge
+                    # the wasted device pass and try the next victim.
+                    self.pending_cost_ns += (
+                        extent.pages * self.swap.write_page_ns
+                    )
+                    continue
+                self.pending_cost_ns += cost
                 node.free_ranges(extent.frames)
                 self.lru[node_id].remove(extent)
                 extent.frames = []

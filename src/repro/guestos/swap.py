@@ -9,7 +9,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.errors import ConfigurationError, OutOfMemoryError
+from repro.errors import ConfigurationError, OutOfMemoryError, SwapWriteError
 from repro.units import NS_PER_US
 
 
@@ -31,6 +31,9 @@ class SwapDevice:
     read_page_ns: float = 8.0 * NS_PER_US
     stats: SwapStats = field(default_factory=SwapStats)
     used_pages: int = 0
+    #: Duck-typed :class:`repro.faults.FaultInjector`; ``None`` (the
+    #: default) keeps the exact fault-free code path.
+    faults: object = None
 
     def __post_init__(self) -> None:
         if self.capacity_pages <= 0:
@@ -49,6 +52,12 @@ class SwapDevice:
         if pages > self.free_pages:
             raise OutOfMemoryError(
                 f"swap full: need {pages} pages, {self.free_pages} free"
+            )
+        if self.faults is not None and self.faults.fires("swap-write-error") is not None:
+            # Transient device write error: nothing was persisted and no
+            # state changed — the caller picks another victim.
+            raise SwapWriteError(
+                f"transient swap write error ({pages} pages not written)"
             )
         self.used_pages += pages
         cost = pages * self.write_page_ns

@@ -27,12 +27,14 @@ from repro.config import SimConfig
 from repro.core.policy import PlacementPolicy, PolicyBinding
 from repro.devtools.sanitizer import FrameSanitizer
 from repro.errors import OutOfMemoryError
+from repro.faults import FaultInjector
 from repro.guestos.balloon import TierReservation
 from repro.guestos.kernel import GuestKernel
 from repro.guestos.numa import NodeTier
 from repro.hw.cache import LastLevelCache, RegionAccess
 from repro.hw.endurance import WearTracker
 from repro.hw.memdevice import MemoryDevice, topology_sort_key
+from repro.hw.throttle import ThrottleConfig, throttled_device
 from repro.hw.timing import DeviceDemand, MemoryTimingModel
 from repro.mem.extent import PageType
 from repro.obs.bus import Telemetry
@@ -129,6 +131,18 @@ class SimulationEngine:
         if config.sanitize:
             self.sanitizer = FrameSanitizer()
             self.sanitizer.attach_kernel(kernel)
+        #: Fault injector (repro.faults); ``None`` — the overwhelmingly
+        #: common case — means no plan was configured and every injection
+        #: site short-circuits on its ``faults is None`` check, keeping
+        #: the exact seed code path (the no-perturbation contract).
+        self.faults: FaultInjector | None = None
+        if config.fault_plan is not None and not config.fault_plan.empty:
+            self.faults = FaultInjector(config.fault_plan)
+            kernel.swap.faults = self.faults
+            hypervisor.migration_engine.faults = self.faults
+            hypervisor.balloon_backend.faults = self.faults
+            hypervisor.channel(domain.domain_id).faults = self.faults
+            hypervisor.tracker(domain.domain_id).faults = self.faults
         #: Per-epoch samples when ``record_timeseries`` is set.
         self.timeseries: list[dict] = []
         self.region_specs: dict[str, RegionSpec] = {}
@@ -186,6 +200,12 @@ class SimulationEngine:
         """Advance one epoch."""
         epoch = demand.epoch
         kernel = self.kernel
+        derate = None
+        if self.faults is not None:
+            self.faults.advance_epoch(epoch)
+            # One derate draw per epoch: while it holds, every device
+            # serves this epoch's misses through a throttled shadow.
+            derate = self.faults.fires("device-derate")
         kernel.begin_epoch(epoch)
         overhead_ns = self.policy.on_epoch_start(epoch)
 
@@ -211,8 +231,21 @@ class SimulationEngine:
             stall_total = 0.0
             epoch_stalls: dict[str, float] = {}
             for device in sorted(device_demands, key=topology_sort_key):
+                timed = device
+                if derate is not None:
+                    # Transient degradation: stalls are computed against
+                    # a derated shadow device; demand routing, wear, and
+                    # accounting keys keep the real device.
+                    timed = throttled_device(
+                        ThrottleConfig(
+                            derate.latency_factor, derate.bandwidth_factor
+                        ),
+                        base=device,
+                        name=device.name,
+                        capacity_bytes=device.capacity_bytes,
+                    )
                 stall = self.timing.stall_ns(
-                    device, device_demands[device], self.workload.mlp
+                    timed, device_demands[device], self.workload.mlp
                 )
                 self.stats.add_stall(device.name, stall)
                 epoch_stalls[device.name] = stall
@@ -236,6 +269,16 @@ class SimulationEngine:
             + kernel_cost_ns
         )
         self.stats.runtime_ns += epoch_runtime_ns
+
+        if self.faults is not None:
+            # Forward the epoch's fault records to the bus (they land in
+            # this epoch's sample); drained unconditionally so an
+            # untelemetered run cannot accumulate them.
+            for event in self.faults.drain_events():
+                if self._sampling:
+                    self.telemetry.event(
+                        event["name"], event["source"], epoch=event["epoch"]
+                    )
 
         if self._sampling:
             with self._phase("sample"):
@@ -564,6 +607,14 @@ class SimulationEngine:
                 for name in self.wear.write_bytes
             },
             sanitizer_reports=sanitizer_reports,
+            fault_counts=(
+                {
+                    kind: self.faults.counts[kind]
+                    for kind in sorted(self.faults.counts)
+                }
+                if self.faults is not None
+                else {}
+            ),
             timeline=timeline,
         )
 

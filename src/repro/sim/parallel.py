@@ -42,6 +42,7 @@ import os
 import pickle
 import signal
 import threading
+import warnings
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures import as_completed
 from concurrent.futures.process import BrokenProcessPool
@@ -51,6 +52,7 @@ from typing import Callable, Iterable, Mapping, Optional, Sequence
 
 from repro.core.policy import make_policy
 from repro.errors import ReproError, SweepError
+from repro.faults import FaultPlan
 from repro.hw.throttle import ThrottleConfig
 from repro.hw.topology import remote_dram
 from repro.obs.bus import Telemetry
@@ -65,6 +67,7 @@ __all__ = [
     "ResultCache",
     "SpecFailure",
     "SpecOutcome",
+    "SweepJournal",
     "clear_memo",
     "default_cache",
     "make_spec",
@@ -117,6 +120,9 @@ class ExperimentSpec:
     slow_device: "str | None" = None
     policy_args: "tuple[tuple[str, object], ...]" = ()
     hotness: "tuple[tuple[str, object], ...] | None" = None
+    #: Deterministic fault schedule; ``None`` (or, via :func:`make_spec`
+    #: normalization, an empty plan) means the fault-free seed path.
+    faults: "FaultPlan | None" = None
 
     def canonical(self) -> dict:
         """A JSON-safe ordered mapping; the hashing input."""
@@ -135,6 +141,9 @@ class ExperimentSpec:
                 [list(item) for item in self.hotness]
                 if self.hotness is not None
                 else None
+            ),
+            "faults": (
+                self.faults.canonical() if self.faults is not None else None
             ),
         }
 
@@ -160,6 +169,8 @@ class ExperimentSpec:
             parts.append(self.slow_device)
         if self.epochs is not None:
             parts.append(f"e={self.epochs}")
+        if self.faults is not None:
+            parts.append(f"faults={len(self.faults.faults)}")
         return " ".join(parts)
 
 
@@ -184,6 +195,7 @@ def make_spec(
     slow_device: "str | None" = None,
     policy_args: "Mapping | None" = None,
     hotness: "HotnessConfig | Mapping | None" = None,
+    faults: "FaultPlan | Mapping | None" = None,
 ) -> ExperimentSpec:
     """Build a canonical :class:`ExperimentSpec` from rich argument types."""
     if isinstance(throttle, ThrottleConfig):
@@ -192,6 +204,12 @@ def make_spec(
         throttle = (float(throttle[0]), float(throttle[1]))
     if isinstance(hotness, HotnessConfig):
         hotness = dataclasses.asdict(hotness)
+    if isinstance(faults, Mapping):
+        faults = FaultPlan.from_dict(dict(faults))
+    if faults is not None and faults.empty:
+        # No-perturbation contract: an empty plan IS no plan, down to
+        # the cache key.
+        faults = None
     if slow_device is not None and slow_device not in _DEVICE_PRESETS:
         raise SweepError(
             f"unknown slow-device preset {slow_device!r}; "
@@ -211,6 +229,7 @@ def make_spec(
         hotness=(
             _normalize_mapping(hotness) if hotness is not None else None
         ),
+        faults=faults,
     )
 
 
@@ -243,6 +262,8 @@ def run_spec(
     )
     if spec.hotness is not None:
         config.hotness_config = HotnessConfig(**dict(spec.hotness))
+    if spec.faults is not None:
+        config.fault_plan = spec.faults
     return run_experiment(
         spec.app,
         policy,
@@ -314,6 +335,36 @@ class ResultCache:
         self.directory = Path(directory)
         self.hits = 0
         self.misses = 0
+        self._store_warned = False
+
+    def writable(self) -> bool:
+        """Probe whether the cache directory accepts writes.
+
+        Creates the directory if needed and round-trips a probe file;
+        a read-only or full filesystem answers ``False`` (and the sweep
+        degrades to uncached execution) instead of raising later."""
+        probe = self.directory / f".probe-{os.getpid()}"
+        try:
+            self.directory.mkdir(parents=True, exist_ok=True)
+            with open(probe, "wb") as handle:
+                handle.write(b"repro-cache-probe")
+            return True
+        except OSError:
+            return False
+        finally:
+            self._evict(probe)
+
+    def _note_store_failure(self, exc: Exception) -> None:
+        """Warn (once per cache instance) that results are not persisting."""
+        if self._store_warned:
+            return
+        self._store_warned = True
+        warnings.warn(
+            f"result cache at {self.directory} is not writable ({exc}); "
+            "continuing without persisting results",
+            RuntimeWarning,
+            stacklevel=3,
+        )
 
     def path_for(self, key: str) -> Path:
         return self.directory / f"{key}.pickle"
@@ -374,16 +425,20 @@ class ResultCache:
                 else result
             ),
         }
+        tmp = path.with_suffix(f".tmp-{os.getpid()}")
         try:
             self.directory.mkdir(parents=True, exist_ok=True)
-            tmp = path.with_suffix(f".tmp-{os.getpid()}")
             with open(tmp, "wb") as handle:
                 pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
             os.replace(tmp, path)
             if timeline is not None:
                 self._store_timeline(key, timeline)
-        except (OSError, pickle.PicklingError):
-            pass
+        except (OSError, pickle.PicklingError) as exc:
+            # Cache-miss-and-warn degradation: a read-only or full cache
+            # directory slows the next sweep down but never fails this
+            # one.  Clean up the half-written temp file best-effort.
+            self._evict(tmp)
+            self._note_store_failure(exc)
 
     def _store_timeline(
         self, key: str, timeline: "list[EpochSample]"
@@ -439,6 +494,11 @@ def default_cache() -> "ResultCache | None":
 # ----------------------------------------------------------------------
 
 
+#: Failure kinds worth retrying: host-side transients, not simulator
+#: determinism (an ``"error"`` reproduces identically on every retry).
+TRANSIENT_FAILURE_KINDS = frozenset({"timeout", "worker-crash"})
+
+
 @dataclass(frozen=True)
 class SpecFailure:
     """A structured per-spec failure (never a raised exception).
@@ -447,10 +507,30 @@ class SpecFailure:
     ``"worker-crash"`` (the worker process died — its whole chunk is
     marked, so innocent chunk-mates may carry this too), or ``"error"``
     (the simulation raised; ``message`` holds the exception text).
+    When the raised exception was a :class:`~repro.errors.ReproError`
+    subclass, ``error_type`` preserves its class name across the worker
+    boundary instead of collapsing the type into the message string.
     """
 
     kind: str
     message: str
+    error_type: "str | None" = None
+
+    @property
+    def transient(self) -> bool:
+        """Whether a retry could plausibly change the outcome."""
+        return self.kind in TRANSIENT_FAILURE_KINDS
+
+    def exception_class(self) -> "type[ReproError] | None":
+        """The structured :class:`ReproError` subclass, when one raised."""
+        if self.error_type is None:
+            return None
+        import repro.errors as errors_module
+
+        candidate = getattr(errors_module, self.error_type, None)
+        if isinstance(candidate, type) and issubclass(candidate, ReproError):
+            return candidate
+        return None
 
 
 @dataclass
@@ -486,6 +566,93 @@ def results_or_raise(outcomes: "Sequence[SpecOutcome]") -> "list[RunResult]":
             f"{len(failures)} of {len(outcomes)} grid points failed: {lines}"
         )
     return [o.result for o in outcomes]  # type: ignore[misc]
+
+
+# ----------------------------------------------------------------------
+# Sweep journal (kill-and-resume checkpointing)
+# ----------------------------------------------------------------------
+
+
+class SweepJournal:
+    """Append-only JSONL checkpoint of per-spec sweep progress.
+
+    Every executed spec appends one line keyed by its cache key (spec
+    canonical JSON + source fingerprint — so a source change silently
+    invalidates old entries, exactly like the result cache).  After a
+    kill, ``repro sweep --resume`` reloads the journal: completed specs
+    come back from the result cache, journaled *deterministic* failures
+    are reused without re-running (re-simulating them would reproduce
+    the same error), and transient failures (timeouts, worker crashes)
+    re-run.  Corrupt lines — a kill mid-append — are skipped; the last
+    entry per key wins.  All journal I/O is best-effort: a broken
+    journal degrades to a journal-less sweep, never an error.
+    """
+
+    def __init__(self, path: "str | Path") -> None:
+        self.path = Path(path)
+
+    def load(self) -> "dict[str, dict]":
+        """Entries by cache key; empty when absent or unreadable."""
+        entries: "dict[str, dict]" = {}
+        try:
+            with open(self.path, "r", encoding="utf-8") as handle:
+                for line in handle:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        entry = json.loads(line)
+                    except ValueError:
+                        continue  # torn write from a kill mid-append
+                    if isinstance(entry, dict) and isinstance(
+                        entry.get("key"), str
+                    ):
+                        entries[entry["key"]] = entry
+        except OSError:
+            pass
+        return entries
+
+    def record(
+        self, spec: ExperimentSpec, fingerprint: str, outcome: SpecOutcome
+    ) -> None:
+        """Append one spec's outcome; flushed so a kill loses at most
+        the line being written."""
+        entry: dict = {
+            "key": spec.cache_key(fingerprint),
+            "label": spec.label,
+            "status": "ok" if outcome.ok else "failed",
+        }
+        if outcome.error is not None:
+            entry["kind"] = outcome.error.kind
+            entry["message"] = outcome.error.message
+            if outcome.error.error_type is not None:
+                entry["error_type"] = outcome.error.error_type
+        try:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            with open(self.path, "a", encoding="utf-8") as handle:
+                handle.write(
+                    json.dumps(entry, sort_keys=True, separators=(",", ":"))
+                    + "\n"
+                )
+                handle.flush()
+                os.fsync(handle.fileno())
+        except OSError:
+            pass
+
+    def reset(self) -> None:
+        """Start a fresh sweep: drop any previous checkpoint."""
+        try:
+            self.path.unlink()
+        except OSError:
+            pass
+
+
+def _resolve_journal(
+    journal: "SweepJournal | str | Path | None",
+) -> "SweepJournal | None":
+    if journal is None or isinstance(journal, SweepJournal):
+        return journal
+    return SweepJournal(journal)
 
 
 # ----------------------------------------------------------------------
@@ -547,9 +714,14 @@ def _run_one(
         return ("ok", result, _wall_sec() - start)
     except _SpecTimeout as exc:
         return ("timeout", str(exc), _wall_sec() - start)
+    except ReproError as exc:
+        # A structured simulator error keeps its subclass name so the
+        # parent-side SpecFailure can rehydrate the type.
+        message = f"{type(exc).__name__}: {exc}"
+        return ("error", (type(exc).__name__, message), _wall_sec() - start)
     except Exception as exc:  # noqa: BLE001 — surfaced as SpecFailure
         message = f"{type(exc).__name__}: {exc}"
-        return ("error", message, _wall_sec() - start)
+        return ("error", (None, message), _wall_sec() - start)
     finally:
         if use_alarm:
             signal.setitimer(signal.ITIMER_REAL, 0.0)
@@ -580,9 +752,16 @@ def _outcome_from_status(
         return SpecOutcome(
             spec=spec, result=payload, source=source, elapsed_sec=elapsed
         )
+    error_type = None
+    if isinstance(payload, tuple):
+        error_type, message = payload
+    else:
+        message = str(payload)
     return SpecOutcome(
         spec=spec,
-        error=SpecFailure(kind=kind, message=str(payload)),
+        error=SpecFailure(
+            kind=kind, message=str(message), error_type=error_type
+        ),
         source=source,
         elapsed_sec=elapsed,
     )
@@ -605,6 +784,15 @@ def _fork_available() -> bool:
 ProgressFn = Callable[[SpecOutcome, int, int], None]
 
 
+def _sleep_backoff(base_sec: float, attempt: int) -> None:
+    """Exponential backoff before retrying transient failures."""
+    import time
+
+    delay = base_sec * (2 ** (attempt - 1))
+    if delay > 0:
+        time.sleep(delay)
+
+
 def run_specs(
     specs: "Iterable[ExperimentSpec]",
     max_workers: "int | None" = 1,
@@ -614,6 +802,9 @@ def run_specs(
     progress: "Optional[ProgressFn]" = None,
     fingerprint: "str | None" = None,
     capture_timelines: bool = False,
+    retries: int = 0,
+    retry_backoff_sec: float = 0.5,
+    journal: "SweepJournal | str | Path | None" = None,
 ) -> "list[SpecOutcome]":
     """Execute a grid, returning one :class:`SpecOutcome` per input spec.
 
@@ -627,6 +818,14 @@ def run_specs(
     process via ``SIGALRM`` where available).  ``progress`` is invoked
     as ``progress(outcome, done, total)`` after every grid point.
 
+    Host-side resilience: an unwritable cache directory degrades the
+    whole sweep to uncached serial execution (with a warning) instead
+    of failing; transient failures — timeouts and worker crashes, never
+    deterministic simulation errors — are retried up to ``retries``
+    times with exponential backoff (``retry_backoff_sec`` doubling per
+    round); and a ``journal`` checkpoints every executed spec so an
+    interrupted sweep can resume, skipping completed work.
+
     ``capture_timelines`` attaches an in-memory telemetry bus to every
     simulated spec so each ``RunResult`` carries its per-epoch timeline.
     Telemetry never enters the cache key; timelines persist as JSONL
@@ -635,7 +834,19 @@ def run_specs(
     """
     ordered = list(specs)
     resolved_cache = _resolve_cache(cache)
-    if fingerprint is None and resolved_cache is not None:
+    if resolved_cache is not None and not resolved_cache.writable():
+        warnings.warn(
+            f"sweep cache directory {resolved_cache.directory} is not "
+            "writable; falling back to uncached serial execution",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        resolved_cache = None
+        max_workers = 1
+    resolved_journal = _resolve_journal(journal)
+    if fingerprint is None and (
+        resolved_cache is not None or resolved_journal is not None
+    ):
         fingerprint = source_fingerprint()
     outcomes: "dict[int, SpecOutcome]" = {}
     done = 0
@@ -671,98 +882,169 @@ def run_specs(
         else:
             misses.append(spec)
 
+    # Journal pass: a resumed sweep reuses journaled *deterministic*
+    # failures (re-simulating reproduces the same error); transient
+    # failures and journaled successes whose cache entry is gone re-run.
+    if resolved_journal is not None and misses:
+        journaled = resolved_journal.load()
+        remaining: "list[ExperimentSpec]" = []
+        for spec in misses:
+            entry = journaled.get(spec.cache_key(fingerprint or ""))
+            if entry is not None and entry.get("kind") == "error":
+                failure = SpecFailure(
+                    kind="error",
+                    message=str(entry.get("message", "")),
+                    error_type=entry.get("error_type"),
+                )
+                for index in pending[spec]:
+                    _record(
+                        index,
+                        SpecOutcome(spec=spec, error=failure, source="journal"),
+                    )
+            else:
+                remaining.append(spec)
+        misses = remaining
+
     if max_workers is None:
         max_workers = os.cpu_count() or 1
-    # max_workers > 1 always means worker-process isolation (even for a
-    # single miss): a crashing simulation must never take down the
-    # caller's process.
-    parallel = max_workers > 1 and misses and _fork_available()
 
     def _finish(spec: ExperimentSpec, outcome: SpecOutcome) -> None:
         if outcome.ok and resolved_cache is not None:
             resolved_cache.store(spec, fingerprint, outcome.result)
+        if resolved_journal is not None:
+            resolved_journal.record(spec, fingerprint or "", outcome)
         for index in pending[spec]:
             _record(index, outcome)
 
-    if not parallel:
-        for spec in misses:
-            _finish(spec, _outcome_from_status(
+    OutcomeFn = Callable[[ExperimentSpec, SpecOutcome], None]
+
+    def _run_serially(
+        round_specs: "list[ExperimentSpec]", on_outcome: "OutcomeFn"
+    ) -> None:
+        for spec in round_specs:
+            on_outcome(spec, _outcome_from_status(
                 spec,
                 _run_one(spec, timeout_sec, capture_timelines),
                 "serial",
             ))
-        return [outcomes[i] for i in range(len(ordered))]
 
-    if chunk_size is None:
-        # Aim for ~4 chunks per worker: coarse enough to amortize task
-        # dispatch, fine enough to keep the pool busy at the tail.
-        chunk_size = max(1, len(misses) // (max_workers * 4))
-    chunks = _chunked(misses, chunk_size)
-    import multiprocessing
+    def _execute_round(
+        round_specs: "list[ExperimentSpec]", on_outcome: "OutcomeFn"
+    ) -> None:
+        """Run one batch of specs, parallel when possible."""
+        # max_workers > 1 always means worker-process isolation (even
+        # for a single miss): a crashing simulation must never take
+        # down the caller's process.
+        if not (max_workers > 1 and round_specs and _fork_available()):
+            _run_serially(round_specs, on_outcome)
+            return
+        if chunk_size is None:
+            # Aim for ~4 chunks per worker: coarse enough to amortize
+            # task dispatch, fine enough to keep the pool busy.
+            round_chunk = max(1, len(round_specs) // (max_workers * 4))
+        else:
+            round_chunk = chunk_size
+        chunks = _chunked(round_specs, round_chunk)
+        import multiprocessing
 
-    context = multiprocessing.get_context("fork")
-    try:
-        executor = ProcessPoolExecutor(
-            max_workers=max_workers, mp_context=context
-        )
-    except (OSError, NotImplementedError, ValueError):
-        # Pool creation itself failed (resource limits, exotic platform):
-        # graceful serial fallback, same execution path.
-        for spec in misses:
-            _finish(spec, _outcome_from_status(
-                spec,
-                _run_one(spec, timeout_sec, capture_timelines),
-                "serial",
-            ))
-        return [outcomes[i] for i in range(len(ordered))]
+        context = multiprocessing.get_context("fork")
+        try:
+            executor = ProcessPoolExecutor(
+                max_workers=max_workers, mp_context=context
+            )
+        except (OSError, NotImplementedError, ValueError):
+            # Pool creation itself failed (resource limits, exotic
+            # platform): graceful serial fallback, same execution path.
+            _run_serially(round_specs, on_outcome)
+            return
 
-    try:
-        futures = {
-            executor.submit(
-                _run_chunk, chunk, timeout_sec, capture_timelines
-            ): chunk
-            for chunk in chunks
-        }
-        for future in as_completed(futures):
-            chunk = futures[future]
-            try:
-                statuses = future.result()
-            except BrokenProcessPool:
-                # The worker died mid-chunk (hard crash); every spec in
-                # the chunk is marked rather than re-run, because the
-                # crasher would take the parent down with it.
-                failure = SpecFailure(
-                    kind="worker-crash",
-                    message=(
-                        "worker process died; chunk of "
-                        f"{len(chunk)} spec(s) abandoned"
-                    ),
-                )
-                for spec in chunk:
-                    _finish(
-                        spec,
-                        SpecOutcome(
-                            spec=spec, error=failure, source="parallel"
+        try:
+            futures = {
+                executor.submit(
+                    _run_chunk, chunk, timeout_sec, capture_timelines
+                ): chunk
+                for chunk in chunks
+            }
+            for future in as_completed(futures):
+                chunk = futures[future]
+                try:
+                    statuses = future.result()
+                except BrokenProcessPool:
+                    # The worker died mid-chunk (hard crash); every spec
+                    # in the chunk is marked rather than re-run, because
+                    # the crasher would take the parent down with it.
+                    failure = SpecFailure(
+                        kind="worker-crash",
+                        message=(
+                            "worker process died; chunk of "
+                            f"{len(chunk)} spec(s) abandoned"
                         ),
                     )
-            except Exception as exc:  # noqa: BLE001 — structured outcome
-                failure = SpecFailure(
-                    kind="error", message=f"{type(exc).__name__}: {exc}"
-                )
-                for spec in chunk:
-                    _finish(
-                        spec,
-                        SpecOutcome(
-                            spec=spec, error=failure, source="parallel"
-                        ),
+                    for spec in chunk:
+                        on_outcome(
+                            spec,
+                            SpecOutcome(
+                                spec=spec, error=failure, source="parallel"
+                            ),
+                        )
+                except ReproError as exc:
+                    failure = SpecFailure(
+                        kind="error",
+                        message=f"{type(exc).__name__}: {exc}",
+                        error_type=type(exc).__name__,
                     )
+                    for spec in chunk:
+                        on_outcome(
+                            spec,
+                            SpecOutcome(
+                                spec=spec, error=failure, source="parallel"
+                            ),
+                        )
+                except Exception as exc:  # noqa: BLE001 — structured outcome
+                    failure = SpecFailure(
+                        kind="error", message=f"{type(exc).__name__}: {exc}"
+                    )
+                    for spec in chunk:
+                        on_outcome(
+                            spec,
+                            SpecOutcome(
+                                spec=spec, error=failure, source="parallel"
+                            ),
+                        )
+                else:
+                    for spec, status in zip(chunk, statuses):
+                        on_outcome(
+                            spec,
+                            _outcome_from_status(spec, status, "parallel"),
+                        )
+        finally:
+            executor.shutdown(wait=False, cancel_futures=True)
+
+    # Bounded-retry loop: transient failures (timeouts, worker crashes)
+    # re-run with exponential backoff; everything else finishes on its
+    # first outcome.  Deterministic errors never retry — the simulator
+    # would reproduce them bit-for-bit.
+    to_run = misses
+    attempt = 0
+    while to_run:
+        retryable: "list[ExperimentSpec]" = []
+
+        def _dispatch(spec: ExperimentSpec, outcome: SpecOutcome) -> None:
+            if (
+                attempt < retries
+                and outcome.error is not None
+                and outcome.error.transient
+            ):
+                retryable.append(spec)
             else:
-                for spec, status in zip(chunk, statuses):
-                    _finish(
-                        spec, _outcome_from_status(spec, status, "parallel")
-                    )
-    finally:
-        executor.shutdown(wait=False, cancel_futures=True)
+                _finish(spec, outcome)
+
+        _execute_round(to_run, _dispatch)
+        if not retryable:
+            break
+        attempt += 1
+        _sleep_backoff(retry_backoff_sec, attempt)
+        to_run = retryable
     return [outcomes[i] for i in range(len(ordered))]
 
 
@@ -785,6 +1067,7 @@ def run_cached(
     slow_device: "str | None" = None,
     policy_args: "Mapping | None" = None,
     hotness: "HotnessConfig | Mapping | None" = None,
+    faults: "FaultPlan | Mapping | None" = None,
     cache: "ResultCache | str | Path | None" = None,
 ) -> RunResult:
     """Memoized :func:`run_spec`: the shared driver entry point.
@@ -807,6 +1090,7 @@ def run_cached(
         slow_device=slow_device,
         policy_args=policy_args,
         hotness=hotness,
+        faults=faults,
     )
     memoized = _MEMO.get(spec)
     if memoized is not None:

@@ -65,6 +65,7 @@ def run_experiment(
     seed: int = 7,
     config: SimConfig | None = None,
     telemetry=None,
+    faults=None,
 ) -> RunResult:
     """Run one (application, policy, platform) combination.
 
@@ -72,7 +73,10 @@ def run_experiment(
     FastMem-only policy automatically gets unlimited FastMem.  Pass a
     ``repro.obs.Telemetry`` bus as ``telemetry`` to capture a per-epoch
     timeline (attached to ``RunResult.timeline``) and stream to any
-    configured sinks; telemetry never changes simulated results.
+    configured sinks; telemetry never changes simulated results.  Pass a
+    ``repro.faults.FaultPlan`` as ``faults`` to inject its scheduled
+    component faults; an empty plan (or ``None``) takes the exact
+    fault-free seed code path.
     """
     workload = make_workload(app) if isinstance(app, str) else app
     placement = make_policy(policy) if isinstance(policy, str) else policy
@@ -86,5 +90,7 @@ def run_experiment(
             unlimited_fast=placement.requires_unlimited_fast,
             seed=seed,
         )
+    if faults is not None:
+        config.fault_plan = faults
     engine = SimulationEngine(config, workload, placement, telemetry=telemetry)
     return engine.run(epochs)

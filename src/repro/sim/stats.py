@@ -71,6 +71,10 @@ class RunResult:
     #: run was configured with ``SimConfig(sanitize=True)``; empty on a
     #: clean (or unsanitized) run.
     sanitizer_reports: list = field(default_factory=list)
+    #: Fault kind -> times it fired, when the run carried a non-empty
+    #: ``repro.faults.FaultPlan``; empty otherwise (so a faultless run
+    #: compares field-by-field equal to a run predating injection).
+    fault_counts: dict = field(default_factory=dict)
     #: Per-epoch ``repro.obs.EpochSample`` list when the run carried a
     #: telemetry bus with an in-memory sink; ``None`` otherwise.  Not
     #: part of the determinism-equivalence surface: cached results store

@@ -35,6 +35,9 @@ class BalloonBackend:
         self._kernels: dict[int, "GuestKernel"] = {}
         self.reclaimed_pages = 0
         self.granted_pages = 0
+        #: Duck-typed :class:`repro.faults.FaultInjector`; ``None``
+        #: (the default) keeps the exact fault-free code path.
+        self.faults: object = None
 
     def register_domain(self, domain: Domain) -> None:
         if domain.domain_id in self.domains:
@@ -54,6 +57,12 @@ class BalloonBackend:
         self, domain_id: int, tier: NodeTier, pages: Pages, allow_fallback: bool
     ) -> dict[NodeTier, int]:
         requester = self._domain(domain_id)
+        if self.faults is not None and self.faults.fires("balloon-refuse") is not None:
+            # Transient refusal: the back-end answers with an empty
+            # grant, exactly what a dry machine pool produces — the
+            # front-end's shortfall handling (reclaim, swap, drop)
+            # degrades the request instead of failing it.
+            return {}
         granted: dict[NodeTier, int] = {}
         got = self._grant_tier(requester, tier, pages)
         if got:

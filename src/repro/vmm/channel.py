@@ -31,6 +31,10 @@ class CoordinationChannel:
     )
     #: VMM -> guest: extent ids the tracker found hot, hottest first.
     hot_report: list[int] = field(default_factory=list)
+    #: Duck-typed :class:`repro.faults.FaultInjector` (set by the
+    #: engine when a fault plan is active); ``None`` keeps the exact
+    #: fault-free code path.
+    faults: object = None
     _tracking_version: int = 0
     _report_version: int = 0
 
@@ -63,7 +67,17 @@ class CoordinationChannel:
         return list(self.tracking_regions), set(self.exception_types)
 
     def vmm_publish_hot(self, extent_ids: list[int]) -> None:
-        self.hot_report = list(extent_ids)
+        report = list(extent_ids)
+        if self.faults is not None:
+            # A shared-memory mailbox message can be lost (the guest
+            # sees an empty report and simply skips this interval's
+            # guided migration) or retransmitted (duplicate ids, which
+            # the guest's validity checks already tolerate).
+            if self.faults.fires("channel-drop") is not None:
+                report = []
+            elif report and self.faults.fires("channel-duplicate") is not None:
+                report = report + report
+        self.hot_report = report
         self._report_version += 1
 
     def vmm_record_epoch(self, llc_misses: float, instructions: float) -> None:

@@ -88,6 +88,12 @@ class HotnessTracker:
         self._seen: dict[int, int] = {}
         self.total_pages_scanned = 0
         self.total_cost_ns = 0.0
+        #: Duck-typed :class:`repro.faults.FaultInjector`; ``None`` (the
+        #: default) keeps the exact fault-free code path.
+        self.faults: object = None
+        #: Last completed scan, kept only under fault injection so a
+        #: stale-scan fault can replay it.
+        self._last_report: "ScanReport | None" = None
 
     def scan(
         self,
@@ -99,6 +105,28 @@ class HotnessTracker:
         Reads and clears the hardware accessed bits, updates hotness
         estimates, charges scan + TLB costs, and classifies hot extents.
         """
+        if self.faults is not None:
+            if self.faults.fires("scan-lost") is not None:
+                # The scan epoch is lost outright (PEBS-style sample
+                # loss): no bits read or cleared, no cost, no signal —
+                # the consumer simply sees nothing hot this interval.
+                return ScanReport()
+            if (
+                self._last_report is not None
+                and self.faults.fires("scan-stale") is not None
+            ):
+                # The scan delivers last interval's data: same cost,
+                # stale hot list.  Dead or already-migrated extents in
+                # it are rejected downstream by the guest's validity
+                # checks (they pay wasted walk cost, nothing breaks).
+                stale = self._last_report
+                return ScanReport(
+                    pages_scanned=stale.pages_scanned,
+                    extents_scanned=stale.extents_scanned,
+                    hot_extents=list(stale.hot_extents),
+                    cost_ns=stale.cost_ns,
+                    tlb_flushes=stale.tlb_flushes,
+                )
         budget = max_pages if max_pages is not None else self.config.scan_batch_pages
         report = ScanReport()
         per_pte = self.config.per_pte_scan_ns * (
@@ -150,6 +178,14 @@ class HotnessTracker:
         )
         self.total_pages_scanned += report.pages_scanned
         self.total_cost_ns += report.cost_ns
+        if self.faults is not None:
+            self._last_report = ScanReport(
+                pages_scanned=report.pages_scanned,
+                extents_scanned=report.extents_scanned,
+                hot_extents=list(report.hot_extents),
+                cost_ns=report.cost_ns,
+                tlb_flushes=report.tlb_flushes,
+            )
         return report
 
     def estimate(self, extent: PageExtent) -> float:

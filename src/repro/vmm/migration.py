@@ -121,6 +121,9 @@ class MigrationEngine:
     #: with kind "begin" | "commit" | "abort".  Duck-typed so telemetry
     #: (repro.obs, a higher layer) can attach without an import here.
     observer: "Callable[[str, MigrationReport], None] | None" = None
+    #: Duck-typed :class:`repro.faults.FaultInjector`; ``None`` (the
+    #: default) keeps the exact fault-free code path.
+    faults: object = None
 
     # ------------------------------------------------------------------
     # Pass bracketing
@@ -187,9 +190,16 @@ class MigrationEngine:
         owns_pass = self.in_flight is None
         if owns_pass:
             self.begin_pass()
+        abort_fault = (
+            self.faults.fires("migration-abort")
+            if self.faults is not None
+            else None
+        )
         batch = batch_pages or self.default_batch_pages
         move_ns, walk_ns = self.cost_model.per_page_costs(batch)
         report = MigrationReport()
+        #: Successful moves this call, oldest first, for abort rollback.
+        undo: "list[tuple[PageExtent, int]]" = []
         remaining_budget = budget_pages if budget_pages is not None else None
         for extent in extents:
             if remaining_budget is not None and remaining_budget <= 0:
@@ -209,6 +219,7 @@ class MigrationEngine:
                 # ``extent`` now holds exactly the in-budget prefix.
             if remaining_budget is not None:
                 remaining_budget -= extent.pages
+            source_node_id = extent.node_id
             try:
                 moved = self._move_once(
                     extent, target_node_id, kernel, evict_with, report
@@ -221,6 +232,7 @@ class MigrationEngine:
                 )
                 continue
             if moved:
+                undo.append((extent, source_node_id))
                 report.pages_moved += extent.pages
                 report.extents_moved += 1
                 report.cost_ns += (
@@ -232,10 +244,43 @@ class MigrationEngine:
                 report.cost_ns += (
                     extent.pages * walk_ns * self.stall_fraction
                 )
+        if abort_fault is not None:
+            self._roll_back(undo, kernel, move_ns, report)
         self.in_flight.merge(report)
         if owns_pass:
-            self.commit_pass()
+            if abort_fault is not None:
+                self.abort_pass()
+            else:
+                self.commit_pass()
         return report
+
+    def _roll_back(
+        self,
+        undo: "list[tuple[PageExtent, int]]",
+        kernel: GuestKernel,
+        move_ns: float,
+        report: MigrationReport,
+    ) -> None:
+        """Unwind an aborted pass's moves (newest first), converting
+        their accounting to wasted work.
+
+        Every page moved is copied *back* to its source node — the
+        abort-mid-copy degradation: all the copy cost is paid, nothing
+        lands.  A rollback blocked by the source filling up in the
+        meantime leaves that extent at the target (still a consistent
+        placement) rather than risking a second failure.
+        """
+        for extent, source_node_id in reversed(undo):
+            try:
+                kernel.move_extent(extent, source_node_id)
+            except (AllocationError, MigrationError, OutOfMemoryError):
+                continue
+            report.pages_moved -= extent.pages
+            report.extents_moved -= 1
+            report.pages_failed += extent.pages
+            # The copy-back is real data movement and stalls like one.
+            report.cost_ns += extent.pages * move_ns * self.stall_fraction
+            report.cost_ns += self.tlb.shootdown()
 
     def _move_once(
         self,

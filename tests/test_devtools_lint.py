@@ -155,6 +155,59 @@ def test_typed_except_allowed():
 
 
 # ----------------------------------------------------------------------
+# swallowed-repro-error
+# ----------------------------------------------------------------------
+
+
+def test_swallowed_repro_error_flags_empty_handler():
+    src = "try:\n    f()\nexcept AllocationError:\n    pass\n"
+    assert rule_hits(src, rule_id="swallowed-repro-error")
+
+
+def test_swallowed_repro_error_flags_tuple_and_ellipsis():
+    src = "try:\n    f()\nexcept (ValueError, MigrationError):\n    ...\n"
+    hits = rule_hits(src, rule_id="swallowed-repro-error")
+    assert hits and "MigrationError" in hits[0].message
+
+
+def test_swallowed_repro_error_allows_handled_degradation():
+    # A handler that accounts, falls back, or continues a loop is a
+    # degradation, not a swallow.
+    src = (
+        "for item in items:\n"
+        "    try:\n"
+        "        f(item)\n"
+        "    except AllocationError:\n"
+        "        continue\n"
+        "try:\n"
+        "    g()\n"
+        "except AllocationError:\n"
+        "    cost += 1\n"
+    )
+    assert not rule_hits(src, rule_id="swallowed-repro-error")
+
+
+def test_swallowed_repro_error_ignores_foreign_exceptions():
+    src = "try:\n    f()\nexcept KeyError:\n    pass\n"
+    assert not rule_hits(src, rule_id="swallowed-repro-error")
+
+
+def test_swallowed_repro_error_suppressible():
+    src = (
+        "try:\n    f()\n"
+        "except AllocationError:  "
+        "# heterolint: disable=swallowed-repro-error\n    pass\n"
+    )
+    report = lint_source(src, relpath="src/repro/sim/snippet.py")
+    assert not [
+        f for f in report.findings if f.rule_id == "swallowed-repro-error"
+    ]
+    assert [
+        f for f in report.suppressed if f.rule_id == "swallowed-repro-error"
+    ]
+
+
+# ----------------------------------------------------------------------
 # layer-import
 # ----------------------------------------------------------------------
 

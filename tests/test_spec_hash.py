@@ -37,6 +37,9 @@ FIELD_MUTATIONS = {
     "slow_device": {"slow_device": "remote-dram"},
     "policy_args": {"policy_args": {"scan_interval_epochs": 3}},
     "hotness": {"hotness": {"hot_density": 2.0}},
+    "faults": {
+        "faults": {"seed": 3, "faults": [{"kind": "channel-drop"}]}
+    },
 }
 
 

@@ -1,0 +1,301 @@
+"""Host-side sweep resilience: retries, journals, cache degradation.
+
+Covers the non-simulated half of the fault story: a transient worker
+failure retries with backoff, a killed sweep resumes from its journal,
+and an unwritable result cache degrades to uncached execution instead
+of failing the sweep.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+
+import pytest
+
+from repro.errors import MigrationError
+from repro.faults import FaultPlan, FaultSpec
+from repro.sim import parallel
+from repro.sim.parallel import (
+    ExperimentSpec,
+    ResultCache,
+    SpecFailure,
+    SweepJournal,
+    make_spec,
+    run_specs,
+)
+
+
+def tiny_spec(policy: str = "hetero-lru") -> ExperimentSpec:
+    return make_spec("redis", policy, epochs=2)
+
+
+def faulty_spec(policy: str = "hetero-lru") -> ExperimentSpec:
+    plan = FaultPlan(
+        seed=13,
+        faults=(
+            FaultSpec("channel-drop", probability=0.5),
+            FaultSpec("device-derate", probability=0.5,
+                      latency_factor=2.0),
+        ),
+    )
+    return make_spec("redis", policy, epochs=3, faults=plan)
+
+
+def as_dicts(outcomes):
+    return [dataclasses.asdict(outcome.result) for outcome in outcomes]
+
+
+# ----------------------------------------------------------------------
+# Fault plans in specs: hashing, labels, execution equivalence
+# ----------------------------------------------------------------------
+
+
+def test_empty_plan_normalizes_to_no_plan():
+    bare = make_spec("redis", "hetero-lru", epochs=2)
+    pinned = make_spec("redis", "hetero-lru", epochs=2,
+                       faults=FaultPlan.none())
+    assert pinned == bare
+    assert pinned.cache_key("fp") == bare.cache_key("fp")
+
+
+def test_faulty_spec_changes_cache_key_and_label():
+    bare = tiny_spec()
+    faulty = faulty_spec()
+    assert faulty.cache_key("fp") != bare.cache_key("fp")
+    assert "faults=2" in faulty.label
+
+
+def test_spec_accepts_plan_as_mapping():
+    plan = FaultPlan(faults=(FaultSpec("channel-drop"),))
+    from_mapping = make_spec("redis", "hetero-lru", epochs=2,
+                             faults=plan.canonical())
+    assert from_mapping.faults == plan
+
+
+def test_faulty_results_identical_serial_parallel_cached(tmp_path):
+    specs = [faulty_spec("hetero-lru"), faulty_spec("hetero-coordinated")]
+    serial = run_specs(specs, max_workers=1)
+    parallel_run = run_specs(specs, max_workers=2)
+    cache = ResultCache(tmp_path / "cache")
+    warm = run_specs(specs, max_workers=1, cache=cache)
+    cached = run_specs(specs, max_workers=1, cache=cache)
+    assert all(outcome.ok for outcome in serial + parallel_run + cached)
+    assert as_dicts(serial) == as_dicts(parallel_run)
+    assert as_dicts(serial) == as_dicts(warm)
+    assert as_dicts(serial) == as_dicts(cached)
+    assert [outcome.source for outcome in cached] == ["cache", "cache"]
+
+
+# ----------------------------------------------------------------------
+# Bounded retry with backoff
+# ----------------------------------------------------------------------
+
+
+def test_transient_timeout_retries_and_succeeds(monkeypatch):
+    real = parallel._run_one
+    calls = []
+
+    def flaky(spec, timeout_sec, capture_timelines=False):
+        calls.append(spec.label)
+        if len(calls) == 1:
+            return ("timeout", "injected budget overrun", 0.0)
+        return real(spec, timeout_sec, capture_timelines)
+
+    monkeypatch.setattr(parallel, "_run_one", flaky)
+    outcomes = run_specs([tiny_spec()], retries=2, retry_backoff_sec=0.0)
+    assert outcomes[0].ok
+    assert len(calls) == 2
+
+
+def test_no_retries_surfaces_transient_failure(monkeypatch):
+    monkeypatch.setattr(
+        parallel, "_run_one",
+        lambda spec, t, c=False: ("timeout", "injected", 0.0),
+    )
+    outcomes = run_specs([tiny_spec()], retries=0)
+    failure = outcomes[0].error
+    assert failure is not None and failure.kind == "timeout"
+    assert failure.transient
+
+
+def test_deterministic_error_never_retries(monkeypatch):
+    calls = []
+
+    def always_error(spec, timeout_sec, capture_timelines=False):
+        calls.append(spec.label)
+        return (
+            "error", ("MigrationError", "MigrationError: injected"), 0.0,
+        )
+
+    monkeypatch.setattr(parallel, "_run_one", always_error)
+    outcomes = run_specs([tiny_spec()], retries=3, retry_backoff_sec=0.0)
+    failure = outcomes[0].error
+    assert len(calls) == 1  # re-simulating would reproduce the error
+    assert failure is not None and not failure.transient
+    assert failure.error_type == "MigrationError"
+    assert failure.exception_class() is MigrationError
+
+
+def test_retries_exhausted_keeps_last_failure(monkeypatch):
+    calls = []
+
+    def always_timeout(spec, timeout_sec, capture_timelines=False):
+        calls.append(spec.label)
+        return ("timeout", "injected", 0.0)
+
+    monkeypatch.setattr(parallel, "_run_one", always_timeout)
+    outcomes = run_specs([tiny_spec()], retries=2, retry_backoff_sec=0.0)
+    assert len(calls) == 3  # first attempt + 2 retries
+    assert outcomes[0].error is not None
+    assert outcomes[0].error.kind == "timeout"
+
+
+def test_backoff_is_exponential(monkeypatch):
+    delays = []
+    monkeypatch.setattr(
+        parallel, "_sleep_backoff",
+        lambda base, attempt: delays.append(base * (2 ** (attempt - 1))),
+    )
+    monkeypatch.setattr(
+        parallel, "_run_one",
+        lambda spec, t, c=False: ("timeout", "injected", 0.0),
+    )
+    run_specs([tiny_spec()], retries=3, retry_backoff_sec=0.5)
+    assert delays == [0.5, 1.0, 2.0]
+
+
+# ----------------------------------------------------------------------
+# Sweep journal and --resume
+# ----------------------------------------------------------------------
+
+
+def test_journal_round_trips_failures(tmp_path):
+    journal = SweepJournal(tmp_path / "journal.jsonl")
+    spec = tiny_spec()
+    outcome = parallel.SpecOutcome(
+        spec=spec,
+        error=SpecFailure(kind="error", message="ConfigurationError: bad",
+                          error_type="ConfigurationError"),
+    )
+    journal.record(spec, "fp", outcome)
+    entry = journal.load()[spec.cache_key("fp")]
+    assert entry["status"] == "failed"
+    assert entry["kind"] == "error"
+    assert entry["error_type"] == "ConfigurationError"
+    journal.reset()
+    assert journal.load() == {}
+
+
+def test_journal_skips_corrupt_lines_last_entry_wins(tmp_path):
+    path = tmp_path / "journal.jsonl"
+    path.write_text(
+        '{"key":"k","status":"failed","kind":"timeout"}\n'
+        '{"key":"k","status"\n'  # torn write from a kill mid-append
+        'not json at all\n'
+        '{"key":"k","status":"failed","kind":"error","message":"m"}\n'
+    )
+    entries = SweepJournal(path).load()
+    assert entries["k"]["kind"] == "error"
+
+
+def test_journaled_deterministic_failure_is_reused(monkeypatch, tmp_path):
+    spec = tiny_spec()
+    journal = SweepJournal(tmp_path / "journal.jsonl")
+    journal.record(
+        spec, "fp",
+        parallel.SpecOutcome(
+            spec=spec,
+            error=SpecFailure(kind="error", message="injected",
+                              error_type="MigrationError"),
+        ),
+    )
+
+    def boom(spec, timeout_sec, capture_timelines=False):
+        raise AssertionError("journaled spec must not re-run")
+
+    monkeypatch.setattr(parallel, "_run_one", boom)
+    outcomes = run_specs([spec], journal=journal, fingerprint="fp")
+    assert outcomes[0].source == "journal"
+    assert outcomes[0].error is not None
+    assert outcomes[0].error.error_type == "MigrationError"
+
+
+def test_journaled_transient_failure_reruns(tmp_path):
+    spec = tiny_spec()
+    journal = SweepJournal(tmp_path / "journal.jsonl")
+    journal.record(
+        spec, "fp",
+        parallel.SpecOutcome(
+            spec=spec,
+            error=SpecFailure(kind="timeout", message="injected"),
+        ),
+    )
+    outcomes = run_specs([spec], journal=journal, fingerprint="fp")
+    assert outcomes[0].ok  # a retry could (and did) change the outcome
+
+
+def test_killed_sweep_resumes_to_identical_results(tmp_path):
+    """Interrupt-after-half then resume == one uninterrupted sweep."""
+    specs = [faulty_spec("hetero-lru"), faulty_spec("hetero-coordinated"),
+             tiny_spec("slowmem-only")]
+    uninterrupted = run_specs(
+        specs, cache=ResultCache(tmp_path / "a"),
+        journal=tmp_path / "a" / "journal.jsonl",
+    )
+    # The "killed" sweep only got through the first spec.
+    cache_b = ResultCache(tmp_path / "b")
+    journal_b = tmp_path / "b" / "journal.jsonl"
+    run_specs(specs[:1], cache=cache_b, journal=journal_b)
+    resumed = run_specs(specs, cache=cache_b, journal=journal_b)
+    assert resumed[0].source == "cache"  # finished work is not redone
+    assert as_dicts(uninterrupted) == as_dicts(resumed)
+
+
+# ----------------------------------------------------------------------
+# Cache degradation
+# ----------------------------------------------------------------------
+
+
+def test_cache_directory_blocked_by_file_degrades(tmp_path):
+    blocker = tmp_path / "not-a-dir"
+    blocker.write_text("occupied")
+    cache = ResultCache(blocker / "cache")
+    assert not cache.writable()
+    with pytest.warns(RuntimeWarning, match="uncached serial"):
+        outcomes = run_specs([tiny_spec()], max_workers=2, cache=cache)
+    assert outcomes[0].ok
+    assert outcomes[0].source == "serial"
+
+
+@pytest.mark.skipif(
+    os.geteuid() == 0, reason="root ignores directory permission bits"
+)
+def test_read_only_cache_dir_degrades_to_miss_and_warn(tmp_path):
+    directory = tmp_path / "cache"
+    directory.mkdir()
+    directory.chmod(0o500)
+    try:
+        cache = ResultCache(directory)
+        assert not cache.writable()
+        with pytest.warns(RuntimeWarning, match="uncached serial"):
+            outcomes = run_specs([tiny_spec()], cache=cache)
+        assert outcomes[0].ok
+    finally:
+        directory.chmod(0o700)
+
+
+def test_store_failure_warns_once_not_raises(tmp_path):
+    blocker = tmp_path / "file"
+    blocker.write_text("occupied")
+    cache = ResultCache(blocker / "cache")
+    spec = tiny_spec()
+    result = run_specs([spec])[0].result
+    with pytest.warns(RuntimeWarning, match="not writable"):
+        cache.store(spec, "fp", result)
+    import warnings as warnings_module
+
+    with warnings_module.catch_warnings():
+        warnings_module.simplefilter("error")
+        cache.store(spec, "fp", result)  # warned once already: silent
+    assert cache.lookup(spec, "fp") is None  # plain miss, no raise
