@@ -1,0 +1,70 @@
+"""Wall-clock pin for the full static-analysis stack.
+
+CI runs ``repro lint --deep --effects`` on every PR for two Python
+versions, so its runtime is part of the development loop.  This bench
+times a cold run (parse + index + all analyses) and a warm run (AST
+cache hit) over the real package and archives both to
+``benchmarks/_results/BENCH_lint.json`` so regressions show up as a
+diff, not an anecdote.  The soft ceiling is generous — the point is
+catching an accidental quadratic blow-up in the effect fixpoint, not
+shaving milliseconds.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import time
+
+import repro
+from repro.devtools.flow import DEFAULT_BASELINE, Baseline, deep_lint_paths
+
+PACKAGE_DIR = pathlib.Path(repro.__file__).parent
+REPO_ROOT = PACKAGE_DIR.parent.parent
+RESULTS_DIR = pathlib.Path(__file__).parent / "_results"
+
+#: Cold full-stack run over ~100 files; seconds.  Current boxes do it
+#: in well under half this.
+COLD_CEILING_SEC = 60.0
+
+
+def _timed_lint(cache_dir):
+    baseline = Baseline.load(REPO_ROOT / DEFAULT_BASELINE)
+    start = time.perf_counter()
+    report, _index = deep_lint_paths(
+        [PACKAGE_DIR],
+        baseline=baseline,
+        cache_dir=cache_dir,
+        include_effects=True,
+    )
+    return report, time.perf_counter() - start
+
+
+def test_bench_lint_deep_effects(tmp_path):
+    cache_dir = tmp_path / "cache"
+    cold_report, cold_sec = _timed_lint(cache_dir)
+    warm_report, warm_sec = _timed_lint(cache_dir)
+
+    assert cold_report.findings == [], cold_report.format_human()
+    assert warm_report.findings == []
+    assert cold_report.files_checked == warm_report.files_checked
+
+    payload = {
+        "benchmark": "repro lint --deep --effects src/repro",
+        "files": cold_report.files_checked,
+        "cold_sec": round(cold_sec, 3),
+        "warm_sec": round(warm_sec, 3),
+        "suppressed": len(cold_report.suppressed),
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_lint.json").write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    )
+    print(
+        f"\nlint --deep --effects: {payload['files']} files, "
+        f"cold {cold_sec:.2f}s, warm {warm_sec:.2f}s"
+    )
+    assert cold_sec < COLD_CEILING_SEC, (
+        f"cold lint --deep --effects took {cold_sec:.1f}s; "
+        f"ceiling is {COLD_CEILING_SEC:.0f}s"
+    )

@@ -167,14 +167,18 @@ def cmd_lint(args: argparse.Namespace) -> int:
     from repro.errors import LintError
 
     if args.list_rules:
+        from repro.devtools.effect import effect_rule_metadata
+
         for rule_id, rule_cls in sorted(all_rules().items()):
             print(f"{rule_id}: {rule_cls.rationale}")
         for rule_id, rationale in sorted(deep_rule_metadata().items()):
             print(f"{rule_id} [deep]: {rationale}")
+        for rule_id, rationale in sorted(effect_rule_metadata().items()):
+            print(f"{rule_id} [effects]: {rationale}")
         return 0
     rule_ids = args.rules.split(",") if args.rules else None
     try:
-        if args.deep:
+        if args.deep or args.effects:
             baseline = None
             baseline_path = args.baseline
             if baseline_path is None and os.path.exists(DEFAULT_BASELINE):
@@ -186,6 +190,8 @@ def cmd_lint(args: argparse.Namespace) -> int:
                 rule_ids=rule_ids,
                 baseline=baseline,
                 cache_dir=args.cache_dir,
+                include_deep=args.deep,
+                include_effects=args.effects,
             )
             if args.write_baseline:
                 target = args.baseline or DEFAULT_BASELINE
@@ -208,6 +214,67 @@ def cmd_lint(args: argparse.Namespace) -> int:
     else:
         print(report.format_human())
     return 0 if report.clean else 1
+
+
+def cmd_certify(args: argparse.Namespace) -> int:
+    from repro.devtools.effect import (
+        EffectAnalysis,
+        compute_ledger,
+        diff_ledgers,
+        ledger_json,
+    )
+    from repro.devtools.flow import ProjectIndex, _parse_all
+    from repro.errors import LintError
+
+    import json as json_module
+
+    files, contexts = _parse_all(args.paths, args.cache_dir)
+    index = ProjectIndex.build(args.paths, contexts=contexts)
+    try:
+        ledger = compute_ledger(index, EffectAnalysis(index))
+    except LintError as exc:
+        print(f"repro certify: {exc}", file=sys.stderr)
+        return 2
+    if args.check:
+        try:
+            with open(args.out, "r", encoding="utf-8") as handle:
+                committed = json_module.load(handle)
+        except (OSError, ValueError) as exc:
+            print(
+                f"repro certify: cannot read committed ledger "
+                f"{args.out}: {exc}",
+                file=sys.stderr,
+            )
+            return 2
+        problems = diff_ledgers(committed, ledger)
+        certified = sorted(
+            name
+            for name, phase in ledger["phases"].items()
+            if phase["certified"]
+        )
+        if problems:
+            print(f"repro certify: {args.out} is stale:")
+            for problem in problems:
+                print(f"  {problem}")
+            print("re-run `repro certify` and review the diff")
+            return 1
+        print(
+            f"ledger {args.out} matches ({len(files)} files; certified "
+            f"phases: {', '.join(certified) or 'none'})"
+        )
+        return 0
+    with open(args.out, "w", encoding="utf-8") as handle:
+        handle.write(ledger_json(ledger))
+    for name in sorted(ledger["phases"]):
+        phase = ledger["phases"][name]
+        status = (
+            "certified"
+            if phase["certified"]
+            else f"{len(phase['violations'])} violation(s)"
+        )
+        print(f"{name:<8} {status}")
+    print(f"wrote {args.out}")
+    return 0
 
 
 def cmd_sanitize_check(args: argparse.Namespace) -> int:
@@ -478,7 +545,38 @@ def build_parser() -> argparse.ArgumentParser:
         help="directory for the parsed-AST cache (--deep only; "
         "default: no cache)",
     )
+    lint_parser.add_argument(
+        "--effects", action="store_true",
+        help="also run the heteroeffect race/fork-safety rules "
+        "(effect-shared-write, effect-fork-unsafe, effect-rng-aliasing, "
+        "effect-order-dep); combinable with --deep",
+    )
     lint_parser.set_defaults(func=cmd_lint)
+
+    certify_parser = sub.add_parser(
+        "certify",
+        help="certify SimulationEngine.step phases as free of "
+        "cross-phase hidden state (writes heteroeffect-ledger.json)",
+    )
+    certify_parser.add_argument(
+        "paths", nargs="*", default=["src/repro"],
+        help="source tree to analyze (default: src/repro)",
+    )
+    certify_parser.add_argument(
+        "--out", default="heteroeffect-ledger.json",
+        help="ledger path (default: heteroeffect-ledger.json)",
+    )
+    certify_parser.add_argument(
+        "--check", action="store_true",
+        help="diff the committed ledger against a fresh run; exit 1 "
+        "when a certified phase gained an uncertified effect",
+    )
+    certify_parser.add_argument(
+        "--cache-dir", default=None,
+        help="directory for the parsed-AST cache (shared with "
+        "`repro lint --deep`)",
+    )
+    certify_parser.set_defaults(func=cmd_certify)
 
     sanitize_parser = sub.add_parser(
         "sanitize-check",

@@ -1,0 +1,55 @@
+"""heteroeffect — interprocedural effect inference and phase purity.
+
+Third member of the devtools family (heterolint sees one file,
+heteroflow sees the call graph, heteroeffect sees *state*): a
+fixpoint over heteroflow's :class:`~repro.devtools.flow.graph.ProjectIndex`
+computes, per function, which module globals and object attributes it
+transitively writes, which RNG streams it draws from, where it
+iterates unordered containers while doing either, and which calls
+escape the analysis.  Two clients share the summaries:
+
+* the race/fork-safety **rules** (``repro lint --effects``,
+  ``effect-*`` rule ids) guard the forked sweep workers;
+* the phase **certifier** (``repro certify``) proves which
+  ``SimulationEngine.step`` phases are free of cross-phase hidden
+  state and writes the ``heteroeffect-ledger.json`` CI pins.
+
+See docs/devtools.md for the rule table and a certification
+walkthrough.
+"""
+
+from __future__ import annotations
+
+from repro.devtools.effect.certify import (
+    DEFAULT_LEDGER,
+    LEDGER_VERSION,
+    compute_ledger,
+    diff_ledgers,
+    ledger_json,
+)
+from repro.devtools.effect.rules import (
+    DEFAULT_WORKER_ENTRY_POINTS,
+    EffectRules,
+    effect_rule_metadata,
+    worker_entry_points,
+)
+from repro.devtools.effect.summary import (
+    EffectAnalysis,
+    EffectSite,
+    EffectSummary,
+)
+
+__all__ = [
+    "DEFAULT_LEDGER",
+    "DEFAULT_WORKER_ENTRY_POINTS",
+    "EffectAnalysis",
+    "EffectRules",
+    "EffectSite",
+    "EffectSummary",
+    "LEDGER_VERSION",
+    "compute_ledger",
+    "diff_ledgers",
+    "effect_rule_metadata",
+    "ledger_json",
+    "worker_entry_points",
+]

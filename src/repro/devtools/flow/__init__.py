@@ -96,12 +96,16 @@ def deep_rule_metadata() -> "dict[str, str]":
 
 
 def combined_rule_metadata() -> "dict[str, str]":
-    """Shallow + deep rule ids -> rationale, for SARIF rule tables."""
+    """Shallow + deep + effect rule ids -> rationale, for SARIF rule
+    tables."""
+    from repro.devtools.effect import effect_rule_metadata
+
     metadata = {
         rule_id: rule_cls.rationale
         for rule_id, rule_cls in all_rules().items()
     }
     metadata.update(deep_rule_metadata())
+    metadata.update(effect_rule_metadata())
     return metadata
 
 
@@ -134,19 +138,30 @@ def deep_lint_paths(
     baseline: "Baseline | None" = None,
     cache_dir: "str | Path | None" = None,
     include_shallow: bool = True,
+    include_deep: bool = True,
+    include_effects: bool = False,
     protocols: "tuple[ProtocolSpec, ...]" = CORE_PROTOCOLS,
 ) -> "tuple[LintReport, ProjectIndex]":
     """Run heteroflow (and, by default, the shallow heterolint rules)
     over every ``.py`` file under ``paths``.
 
-    Returns the combined report and the project index it was computed
-    from.  Suppression comments apply to deep findings exactly as they
-    do to shallow ones; ``baseline``-accepted findings are moved to the
+    ``include_effects`` adds the heteroeffect race/fork-safety rules
+    (``effect-*``); ``include_deep=False`` skips the heteroflow
+    analyses so ``--effects`` can run without ``--deep``.  Returns the
+    combined report and the project index it was computed from.
+    Suppression comments apply to deep findings exactly as they do to
+    shallow ones; ``baseline``-accepted findings are moved to the
     report's suppressed list.
     """
+    from repro.devtools.effect import effect_rule_metadata
+
     wanted = set(rule_ids) if rule_ids is not None else None
     if wanted is not None:
-        known = set(all_rules()) | set(deep_rule_metadata())
+        known = (
+            set(all_rules())
+            | set(deep_rule_metadata())
+            | set(effect_rule_metadata())
+        )
         unknown = sorted(wanted - known)
         if unknown:
             raise LintError(f"unknown rule(s): {', '.join(unknown)}")
@@ -177,12 +192,18 @@ def deep_lint_paths(
                         report.findings.append(finding)
 
     deep_pairs = []
-    dimension_analysis = DimensionAnalysis(index)
-    deep_pairs.extend(dimension_analysis.check())
-    protocol_analysis = ProtocolAnalysis(index, specs=protocols)
-    deep_pairs.extend(protocol_analysis.check())
-    taint_analysis = TaintAnalysis(index)
-    deep_pairs.extend(taint_analysis.check())
+    if include_deep:
+        dimension_analysis = DimensionAnalysis(index)
+        deep_pairs.extend(dimension_analysis.check())
+        protocol_analysis = ProtocolAnalysis(index, specs=protocols)
+        deep_pairs.extend(protocol_analysis.check())
+        taint_analysis = TaintAnalysis(index)
+        deep_pairs.extend(taint_analysis.check())
+    if include_effects:
+        from repro.devtools.effect import EffectAnalysis, EffectRules
+
+        effect_rules = EffectRules(EffectAnalysis(index))
+        deep_pairs.extend(effect_rules.check())
 
     seen: "set[tuple]" = set()
     for ctx_info, finding in deep_pairs:

@@ -10,7 +10,12 @@ entirely.
 Pickled AST nodes keep their parent links, but Python object ids do not
 survive a round-trip — the ``TYPE_CHECKING`` node-id set is rebuilt on
 load (:func:`_rebind`).  The cache is invalidated per Python minor
-version because ``ast`` trees are not portable across them.
+version because ``ast`` trees are not portable across them: the cache
+*filename* carries a ``py<major><minor>`` tag, and the payload itself
+embeds the writer's ``(major, minor)`` which is validated on load —
+so even a cache file restored under the wrong name (a mis-keyed
+``actions/cache`` entry, a renamed directory) is rejected instead of
+feeding another interpreter's AST shapes into the analysis.
 """
 
 from __future__ import annotations
@@ -25,7 +30,11 @@ from repro.devtools.lint import FileContext, _is_type_checking_test
 
 __all__ = ["load_contexts", "store_contexts"]
 
-_FORMAT_VERSION = 1
+_FORMAT_VERSION = 2
+
+
+def _python_tag() -> "tuple[int, int]":
+    return (sys.version_info.major, sys.version_info.minor)
 
 
 def _cache_path(cache_dir: "str | Path") -> Path:
@@ -64,6 +73,8 @@ def load_contexts(
         return {}
     if not isinstance(payload, dict) or payload.get("version") != _FORMAT_VERSION:
         return {}
+    if tuple(payload.get("python", ())) != _python_tag():
+        return {}
     cached = payload.get("files", {})
     contexts: "dict[str, FileContext]" = {}
     for file_path in files:
@@ -91,6 +102,7 @@ def store_contexts(
         directory.mkdir(parents=True, exist_ok=True)
         payload = {
             "version": _FORMAT_VERSION,
+            "python": _python_tag(),
             "files": {
                 relpath: (_digest(ctx.source), ctx)
                 for relpath, ctx in contexts.items()

@@ -113,6 +113,10 @@ class ClassInfo:
     field_annotations: "dict[str, ast.expr]" = field(default_factory=dict)
     #: base-class simple names (resolution happens through the module).
     bases: "list[str]" = field(default_factory=list)
+    #: field name -> class simple name inferred from method-body
+    #: assignments (``self.x = ClassName(...)``, ``self.x = typed_param``);
+    #: annotation-free fields the constructor gives a knowable type.
+    inferred_fields: "dict[str, str]" = field(default_factory=dict)
 
 
 @dataclass
@@ -172,6 +176,10 @@ class ProjectIndex:
         #: callee qualname -> [(caller qualname, call node)].
         self.callers: "dict[str, list[tuple[str, ast.Call]]]" = {}
         self.files_indexed = 0
+        #: function qualname -> {local name -> ClassInfo} (lazy).
+        self._envs: "dict[str, dict[str, ClassInfo]]" = {}
+        #: class qualname -> subclasses defined anywhere in the project.
+        self._subclasses: "dict[str, list[ClassInfo]] | None" = None
 
     # ------------------------------------------------------------------
     # Construction
@@ -284,7 +292,77 @@ class ProjectIndex:
                     ctx, module, node.body, prefix=qualname, cls=node.name
                 )
 
+    def _infer_fields(self) -> None:
+        """Record the class of annotation-free ``self.x`` fields from the
+        assignments that create them (``self.x = ClassName(...)``,
+        ``self.x = typed_param``, ``or``/conditional fallbacks)."""
+        for info in self.functions.values():
+            if info.cls is None:
+                continue
+            cinfo = self.class_of(info)
+            if cinfo is None:
+                continue
+            for node in ordered_nodes(info.node):
+                if isinstance(node, ast.Assign):
+                    targets, value = node.targets, node.value
+                elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                    targets, value = [node.target], node.value
+                else:
+                    continue
+                for target in targets:
+                    if not (
+                        isinstance(target, ast.Attribute)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id == "self"
+                    ):
+                        continue
+                    if (
+                        target.attr in cinfo.field_annotations
+                        or target.attr in cinfo.inferred_fields
+                    ):
+                        continue
+                    name = self._value_class_name(info, value)
+                    if name:
+                        cinfo.inferred_fields[target.attr] = name
+
+    def _value_class_name(
+        self, info: FunctionInfo, value: ast.expr
+    ) -> "str | None":
+        """Simple class name an assigned expression constructs/carries."""
+        if isinstance(value, ast.BoolOp):
+            for operand in value.values:
+                name = self._value_class_name(info, operand)
+                if name:
+                    return name
+            return None
+        if isinstance(value, ast.IfExp):
+            return self._value_class_name(
+                info, value.body
+            ) or self._value_class_name(info, value.orelse)
+        module = self.modules.get(info.module)
+        if isinstance(value, ast.Call):
+            ctor = _annotation_name(value.func)
+            if (
+                ctor
+                and module is not None
+                and self.resolve_class_name(ctor, module) is not None
+            ):
+                return ctor
+            return None
+        if isinstance(value, ast.Name):
+            for arg in info.all_args:
+                if arg.arg == value.id and arg.annotation is not None:
+                    name = _annotation_name(arg.annotation)
+                    if (
+                        name
+                        and module is not None
+                        and self.resolve_class_name(name, module) is not None
+                    ):
+                        return name
+        return None
+
     def _link_calls(self) -> None:
+        self._infer_fields()
         for qualname, info in self.functions.items():
             edges: "list[tuple[ast.Call, str]]" = []
             for call in ordered_calls(info.node):
@@ -354,6 +432,124 @@ class ProjectIndex:
             cinfo = parent
         return None
 
+    def field_class(
+        self, cinfo: "ClassInfo | None", attr: str
+    ) -> "ClassInfo | None":
+        """Class of field ``attr`` on ``cinfo`` (annotated or inferred),
+        walking same-project bases."""
+        seen: "set[str]" = set()
+        while cinfo is not None and cinfo.qualname not in seen:
+            seen.add(cinfo.qualname)
+            module = self.modules.get(cinfo.module)
+            if attr in cinfo.field_annotations:
+                name = _annotation_name(cinfo.field_annotations[attr])
+                if name and module is not None:
+                    return self.resolve_class_name(name, module)
+                return None
+            if attr in cinfo.inferred_fields:
+                if module is not None:
+                    return self.resolve_class_name(
+                        cinfo.inferred_fields[attr], module
+                    )
+                return None
+            parent = None
+            for base in cinfo.bases:
+                if module is not None:
+                    parent = self.resolve_class_name(base, module)
+                if parent is not None:
+                    break
+            cinfo = parent
+        return None
+
+    def local_env(self, info: FunctionInfo) -> "dict[str, ClassInfo]":
+        """Local name -> class, from one in-order pass over the body.
+
+        Only single-target assignments whose value has a knowable class
+        (construction, typed field/param, call with an annotated return)
+        bind a name; reassignment to anything unknowable unbinds it."""
+        cached = self._envs.get(info.qualname)
+        if cached is not None:
+            return cached
+        env: "dict[str, ClassInfo]" = {}
+        # Registered before the pass so recursive resolution during the
+        # pass sees the (partial, in-order) environment, never recurses.
+        self._envs[info.qualname] = env
+        for node in ordered_nodes(info.node):
+            if (
+                isinstance(node, ast.Assign)
+                and len(node.targets) == 1
+                and isinstance(node.targets[0], ast.Name)
+            ):
+                cls = self._receiver_class(info, node.value)
+                if cls is not None:
+                    env[node.targets[0].id] = cls
+                else:
+                    env.pop(node.targets[0].id, None)
+            elif isinstance(node, ast.AnnAssign) and isinstance(
+                node.target, ast.Name
+            ):
+                name = _annotation_name(node.annotation)
+                module = self.modules.get(info.module)
+                cls = (
+                    self.resolve_class_name(name, module)
+                    if name and module is not None
+                    else None
+                )
+                if cls is not None:
+                    env[node.target.id] = cls
+        return env
+
+    def subclasses_of(self, cinfo: ClassInfo) -> "list[ClassInfo]":
+        """Every project class whose (transitive) bases include ``cinfo``."""
+        if self._subclasses is None:
+            self._subclasses = {}
+            for candidate in self.classes.values():
+                seen: "set[str]" = set()
+                stack = [candidate]
+                while stack:
+                    current = stack.pop()
+                    if current.qualname in seen:
+                        continue
+                    seen.add(current.qualname)
+                    module = self.modules.get(current.module)
+                    for base in current.bases:
+                        parent = (
+                            self.resolve_class_name(base, module)
+                            if module is not None
+                            else None
+                        )
+                        if parent is None:
+                            continue
+                        self._subclasses.setdefault(
+                            parent.qualname, []
+                        ).append(candidate)
+                        stack.append(parent)
+        return self._subclasses.get(cinfo.qualname, [])
+
+    def resolve_constructor(
+        self, info: FunctionInfo, call: ast.Call
+    ) -> "ClassInfo | None":
+        """The class a bare-name/attribute call constructs, if any."""
+        func = call.func
+        module = self.modules.get(info.module)
+        if module is None:
+            return None
+        if isinstance(func, ast.Name):
+            # A name that is also a project function is a call, not a
+            # construction.
+            if func.id in module.functions:
+                return None
+            return self.resolve_class_name(func.id, module)
+        if isinstance(func, ast.Attribute) and isinstance(
+            func.value, ast.Name
+        ):
+            dotted = module.imports.get(func.value.id)
+            if dotted is not None:
+                resolved = self.resolve_dotted(f"{dotted}.{func.attr}")
+                if isinstance(resolved, ClassInfo):
+                    return resolved
+        return None
+
     def _receiver_class(
         self, info: FunctionInfo, value: ast.expr
     ) -> "ClassInfo | None":
@@ -368,20 +564,28 @@ class ProjectIndex:
                     name = _annotation_name(arg.annotation)
                     if name and module is not None:
                         return self.resolve_class_name(name, module)
-        elif isinstance(value, ast.Attribute) and isinstance(
-            value.value, ast.Name
-        ) and value.value.id == "self":
-            # ``self.field`` with an annotated field type.
-            cinfo = self.class_of(info)
-            if cinfo is not None and value.attr in cinfo.field_annotations:
-                name = _annotation_name(cinfo.field_annotations[value.attr])
-                if name and module is not None:
-                    return self.resolve_class_name(name, module)
+            # A local bound to a knowable class earlier in the body.
+            return self.local_env(info).get(value.id)
+        elif isinstance(value, ast.Attribute):
+            # ``self.field`` / ``obj.field`` chains through annotated or
+            # inferred field types.
+            base = self._receiver_class(info, value.value)
+            if base is not None:
+                return self.field_class(base, value.attr)
         elif isinstance(value, ast.Call):
             # Direct construction: ``Tlb().flush()``.
             ctor = _annotation_name(value.func)
             if ctor and module is not None:
-                return self.resolve_class_name(ctor, module)
+                constructed = self.resolve_class_name(ctor, module)
+                if constructed is not None:
+                    return constructed
+            # A call whose callee has a class-annotated return type.
+            callee = self.resolve_call(info, value)
+            if callee is not None and callee.node.returns is not None:
+                name = _annotation_name(callee.node.returns)
+                callee_module = self.modules.get(callee.module)
+                if name and callee_module is not None:
+                    return self.resolve_class_name(name, callee_module)
         return None
 
     def resolve_call(

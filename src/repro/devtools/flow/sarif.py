@@ -6,7 +6,7 @@ the offending line.  One run object per tool pass; every rule carries
 its identifier, rationale, and the shared rule-ID namespace documented
 in docs/devtools.md (bare kebab-case for shallow heterolint rules,
 ``flow-`` for heteroflow analyses, ``san-`` for FrameSanitizer defect
-classes).
+classes, ``effect-`` for heteroeffect race/fork-safety rules).
 """
 
 from __future__ import annotations
@@ -28,6 +28,10 @@ _TOOL_INFO = {
     "lint": ("heterolint", "simulator-specific single-file AST rules"),
     "flow": ("heteroflow", "whole-program dimension/typestate/taint analysis"),
     "san": ("framesan", "runtime frame-ownership sanitizer"),
+    "effect": (
+        "heteroeffect",
+        "interprocedural effect/race analysis and phase certification",
+    ),
 }
 
 
@@ -36,6 +40,8 @@ def _tool_key(rule_id: str) -> str:
         return "flow"
     if rule_id.startswith("san-"):
         return "san"
+    if rule_id.startswith("effect-"):
+        return "effect"
     return "lint"
 
 

@@ -239,45 +239,85 @@ class UnseededRandomRule(Rule):
         "RNG and wall-clock reads make epoch results nondeterministic"
     )
 
+    @staticmethod
+    def _import_tables(
+        ctx: FileContext,
+    ) -> "tuple[dict[str, str], dict[str, tuple[str, str]]]":
+        """(module alias -> real module, from-import local name ->
+        (module, original name)) for the modules this rule watches —
+        ``import random as rnd`` and ``from random import randint``
+        must not dodge it."""
+        watched = ("random", "time", "datetime")
+        module_aliases = {name: name for name in watched}
+        from_imports: "dict[str, tuple[str, str]]" = {}
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name in watched:
+                        module_aliases[alias.asname or alias.name] = alias.name
+            elif isinstance(node, ast.ImportFrom) and node.module in watched:
+                for alias in node.names:
+                    from_imports[alias.asname or alias.name] = (
+                        node.module, alias.name
+                    )
+        return module_aliases, from_imports
+
+    def _check_member(
+        self, ctx: FileContext, node: ast.Call, module: str, member: str
+    ) -> "Finding | None":
+        """One call of ``module.member`` (spelled any way), or None."""
+        if module == "random" and member in _GLOBAL_RNG_FNS:
+            return self.finding(
+                ctx, node,
+                f"random.{member}() uses the hidden global RNG; "
+                "draw from a seeded random.Random owned by a config",
+            )
+        if (
+            module == "random"
+            and member == "Random"
+            and not node.args
+            and not node.keywords
+        ):
+            return self.finding(
+                ctx, node,
+                "random.Random() without a seed is seeded from the OS; "
+                "pass an explicit seed",
+            )
+        if module == "time" and member in _WALL_CLOCK_FNS:
+            return self.finding(
+                ctx, node,
+                f"time.{member}() reads the wall clock; simulator "
+                "time is virtual and comes from the timing model",
+            )
+        if module == "datetime" and member in ("now", "utcnow", "today"):
+            return self.finding(
+                ctx, node,
+                f"datetime.{member}() reads the wall clock inside "
+                "the simulator",
+            )
+        return None
+
     def check(self, ctx: FileContext) -> Iterator[Finding]:
+        module_aliases, from_imports = self._import_tables(ctx)
+        # ast.walk descends into comprehensions and lambdas too, so a
+        # draw inside either is found in its enclosing statement.
         for node in ast.walk(ctx.tree):
             if not isinstance(node, ast.Call):
                 continue
             func = node.func
-            if not isinstance(func, ast.Attribute):
-                continue
-            base = func.value
-            if not isinstance(base, ast.Name):
-                continue
-            if base.id == "random" and func.attr in _GLOBAL_RNG_FNS:
-                yield self.finding(
-                    ctx, node,
-                    f"random.{func.attr}() uses the hidden global RNG; "
-                    "draw from a seeded random.Random owned by a config",
-                )
-            elif (
-                base.id == "random"
-                and func.attr == "Random"
-                and not node.args
-                and not node.keywords
+            if isinstance(func, ast.Attribute) and isinstance(
+                func.value, ast.Name
             ):
-                yield self.finding(
-                    ctx, node,
-                    "random.Random() without a seed is seeded from the OS; "
-                    "pass an explicit seed",
-                )
-            elif base.id == "time" and func.attr in _WALL_CLOCK_FNS:
-                yield self.finding(
-                    ctx, node,
-                    f"time.{func.attr}() reads the wall clock; simulator "
-                    "time is virtual and comes from the timing model",
-                )
-            elif base.id == "datetime" and func.attr in ("now", "utcnow", "today"):
-                yield self.finding(
-                    ctx, node,
-                    f"datetime.{func.attr}() reads the wall clock inside "
-                    "the simulator",
-                )
+                module = module_aliases.get(func.value.id)
+                if module is not None:
+                    finding = self._check_member(ctx, node, module, func.attr)
+                    if finding is not None:
+                        yield finding
+            elif isinstance(func, ast.Name) and func.id in from_imports:
+                module, member = from_imports[func.id]
+                finding = self._check_member(ctx, node, module, member)
+                if finding is not None:
+                    yield finding
 
 
 #: Builtin raises permitted for argument validation, per file basename.

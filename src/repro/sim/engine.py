@@ -49,6 +49,62 @@ from repro.workloads.base import EpochDemand, RegionSpec, Workload
 #: Shared no-op context for profiling-off runs (no per-phase allocation).
 _NO_PHASE = nullcontext()
 
+#: Effect contract for every ``SimulationEngine.step`` phase, consumed
+#: statically by the heteroeffect certifier (``repro certify``) — it is
+#: read with ``ast.literal_eval``, never imported, so it must stay a
+#: pure literal.  Per phase: ``roots`` are the methods the phase
+#: executes; ``writes`` are the attribute locations the phase owns and
+#: may mutate (trailing ``*`` is a wildcard); ``assume`` accepts
+#: opaque/polymorphic call patterns on trust, each with its
+#: justification.  Phases whose ledger entry lists violations (demand,
+#: cache, policy) are impure by design — they mutate kernel/policy
+#: state through dynamic dispatch; the certified phases (timing,
+#: sample) are the candidates for the vectorized fast path.
+STEP_PHASES = {
+    "demand": {
+        "roots": [
+            "SimulationEngine._apply_frees",
+            "SimulationEngine._apply_allocs",
+            "SimulationEngine._apply_touches",
+        ],
+        "writes": ["SimulationEngine.region_specs"],
+        "assume": {},
+    },
+    "cache": {
+        "roots": ["SimulationEngine._memory_demands"],
+        "writes": [],
+        "assume": {},
+    },
+    "policy": {
+        "roots": ["SimulationEngine._policy_phase"],
+        "writes": [],
+        "assume": {},
+    },
+    "timing": {
+        "roots": ["SimulationEngine._timing_phase"],
+        "writes": ["RunStats.stall_ns_by_device"],
+        "assume": {},
+    },
+    "sample": {
+        "roots": ["SimulationEngine._sample_epoch"],
+        "writes": [
+            "SimulationEngine._prev_*",
+            "SimulationEngine._run_opened",
+            "Telemetry._pending_events",
+        ],
+        "assume": {
+            "?.on_start": (
+                "sink fan-out; sinks only observe (no-perturbation "
+                "contract, pinned by the obs test suite)"
+            ),
+            "?.on_sample": (
+                "sink fan-out; sinks only observe (no-perturbation "
+                "contract, pinned by the obs test suite)"
+            ),
+        },
+    },
+}
+
 
 def build_single_vm(
     config: SimConfig,
@@ -221,35 +277,13 @@ class SimulationEngine:
         self.policy.on_llc_sample(llc_misses, demand.instructions)
 
         with self._phase("policy"):
-            overhead_ns += self.policy.on_epoch_end(epoch)
+            overhead_ns += self._policy_phase(epoch)
         kernel_cost_ns = kernel.drain_pending_cost()
 
         with self._phase("timing"):
-            cpu_ns = self.timing.cpu.cpu_ns(demand.instructions)
-            # Deterministic topology order (fastest first) so per-device
-            # accumulators and timelines are byte-stable across runs.
-            stall_total = 0.0
-            epoch_stalls: dict[str, float] = {}
-            for device in sorted(device_demands, key=topology_sort_key):
-                timed = device
-                if derate is not None:
-                    # Transient degradation: stalls are computed against
-                    # a derated shadow device; demand routing, wear, and
-                    # accounting keys keep the real device.
-                    timed = throttled_device(
-                        ThrottleConfig(
-                            derate.latency_factor, derate.bandwidth_factor
-                        ),
-                        base=device,
-                        name=device.name,
-                        capacity_bytes=device.capacity_bytes,
-                    )
-                stall = self.timing.stall_ns(
-                    timed, device_demands[device], self.workload.mlp
-                )
-                self.stats.add_stall(device.name, stall)
-                epoch_stalls[device.name] = stall
-                stall_total += stall
+            cpu_ns, stall_total, epoch_stalls = self._timing_phase(
+                demand, device_demands, derate
+            )
 
         epoch_traffic = sum(d.traffic_bytes for d in device_demands.values())
         epoch_accesses = sum(
@@ -319,6 +353,55 @@ class SimulationEngine:
                     "overhead_ns": overhead_ns + kernel_cost_ns,
                 }
             )
+
+    # ------------------------------------------------------------------
+    # Phase bodies (the units STEP_PHASES certifies)
+    # ------------------------------------------------------------------
+
+    def _policy_phase(self, epoch: int) -> float:
+        """Policy epoch-end hook (LRU demotions, hotness scans,
+        migrations); dynamic dispatch into the bound policy, so this
+        phase is impure by design and never certified."""
+        return self.policy.on_epoch_end(epoch)
+
+    def _timing_phase(
+        self,
+        demand: EpochDemand,
+        device_demands: dict[MemoryDevice, DeviceDemand],
+        derate,
+    ) -> tuple[float, float, dict[str, float]]:
+        """Charge this epoch's CPU time and per-device stalls.
+
+        Pure but for the declared ``RunStats.stall_ns_by_device``
+        accumulation — certified in the heteroeffect ledger, which
+        makes it the first candidate for the vectorized fast path.
+        """
+        cpu_ns = self.timing.cpu.cpu_ns(demand.instructions)
+        # Deterministic topology order (fastest first) so per-device
+        # accumulators and timelines are byte-stable across runs.
+        stall_total = 0.0
+        epoch_stalls: dict[str, float] = {}
+        for device in sorted(device_demands, key=topology_sort_key):
+            timed = device
+            if derate is not None:
+                # Transient degradation: stalls are computed against
+                # a derated shadow device; demand routing, wear, and
+                # accounting keys keep the real device.
+                timed = throttled_device(
+                    ThrottleConfig(
+                        derate.latency_factor, derate.bandwidth_factor
+                    ),
+                    base=device,
+                    name=device.name,
+                    capacity_bytes=device.capacity_bytes,
+                )
+            stall = self.timing.stall_ns(
+                timed, device_demands[device], self.workload.mlp
+            )
+            self.stats.add_stall(device.name, stall)
+            epoch_stalls[device.name] = stall
+            stall_total += stall
+        return cpu_ns, stall_total, epoch_stalls
 
     # ------------------------------------------------------------------
     # Telemetry sampling

@@ -82,6 +82,13 @@ __all__ = [
 #: (used by CI and the benchmark harness; absent means no disk cache).
 CACHE_DIR_ENV = "REPRO_SWEEP_CACHE_DIR"
 
+#: Functions executed inside forked sweep workers.  The heteroeffect
+#: race rules (``repro lint --effects``) read this marker statically
+#: and treat everything call-reachable from these as shared with the
+#: parent process: module-global writes there are races, module-global
+#: OS handles are fork-unsafe.  Keep it in sync with run_specs().
+WORKER_ENTRY_POINTS = ("_run_chunk", "_run_one", "run_spec")
+
 #: Named SlowMem device presets a spec may reference (device objects
 #: themselves are not part of a spec so that specs stay hashable and
 #: their canonical form stays JSON-serializable).

@@ -1,0 +1,656 @@
+"""heteroeffect: per-rule bad+good fixtures with interprocedural
+(callee-summary / reachability-chain) evidence, phase certification,
+ledger diffing, and the ``repro certify`` CLI.
+
+Fixture trees follow tests/test_devtools_flow.py: a ``repro``-named
+root so module names normalize the same way as the real package
+(``sim/parallel.py`` -> module ``sim.parallel``, the forked-worker
+module the race rules anchor reachability on).
+"""
+
+from __future__ import annotations
+
+import json
+import textwrap
+
+import pytest
+
+from repro.cli import main
+from repro.devtools.effect import (
+    EffectAnalysis,
+    compute_ledger,
+    diff_ledgers,
+    effect_rule_metadata,
+    ledger_json,
+    worker_entry_points,
+)
+from repro.devtools.flow import ProjectIndex, deep_lint_paths
+from repro.errors import LintError
+
+
+def make_tree(tmp_path, files):
+    """Write ``files`` (relpath -> source) under a repro-named root."""
+    root = tmp_path / "proj" / "repro"
+    for relpath, source in files.items():
+        path = root / relpath
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(source), encoding="utf-8")
+    for directory in {p.parent for p in root.rglob("*.py")} | {root}:
+        init = directory / "__init__.py"
+        if not init.exists():
+            init.write_text("", encoding="utf-8")
+    return root
+
+
+def effects(tmp_path, files, rule_id=None):
+    report, _index = deep_lint_paths(
+        [make_tree(tmp_path, files)],
+        include_shallow=False,
+        include_deep=False,
+        include_effects=True,
+    )
+    if rule_id is None:
+        return report.findings
+    return [f for f in report.findings if f.rule_id == rule_id]
+
+
+def build_index(tmp_path, files):
+    return ProjectIndex.build([make_tree(tmp_path, files)])
+
+
+# ----------------------------------------------------------------------
+# effect-shared-write
+# ----------------------------------------------------------------------
+
+PARALLEL_RUNNER = """\
+    from repro.sim.stats import record
+
+    WORKER_ENTRY_POINTS = ("run_spec",)
+
+    def run_spec(spec):
+        return record(spec)
+"""
+
+SHARED_WRITE_BAD = {
+    "sim/parallel.py": PARALLEL_RUNNER,
+    "sim/stats.py": """\
+        _MEMO = {}
+
+        def record(spec):
+            _MEMO[spec] = 1
+            return _MEMO
+    """,
+}
+
+SHARED_WRITE_GOOD = {
+    "sim/parallel.py": PARALLEL_RUNNER,
+    "sim/stats.py": """\
+        def record(spec):
+            memo = {}
+            memo[spec] = 1
+            return memo
+    """,
+}
+
+
+def test_shared_write_fires_with_worker_chain(tmp_path):
+    hits = effects(tmp_path, SHARED_WRITE_BAD, "effect-shared-write")
+    assert len(hits) == 1
+    finding = hits[0]
+    assert finding.function == "sim.stats.record"
+    assert "sim.stats:_MEMO" in finding.message
+    # Interprocedural evidence: the reachability chain from the worker
+    # entry point into the writing helper.
+    assert "sim.parallel.run_spec -> sim.stats.record" in finding.message
+
+
+def test_shared_write_clean_on_local_container(tmp_path):
+    assert not effects(tmp_path, SHARED_WRITE_GOOD, "effect-shared-write")
+
+
+def test_shared_write_needs_worker_reachability(tmp_path):
+    # Same global write, but nothing in sim.parallel calls it.
+    files = dict(SHARED_WRITE_BAD)
+    files["sim/parallel.py"] = """\
+        WORKER_ENTRY_POINTS = ("run_spec",)
+
+        def run_spec(spec):
+            return spec
+    """
+    assert not effects(tmp_path, files, "effect-shared-write")
+
+
+def test_worker_entry_marker_is_honored(tmp_path):
+    # A custom marker replaces the default entry-point names entirely.
+    files = dict(SHARED_WRITE_BAD)
+    files["sim/parallel.py"] = """\
+        from repro.sim.stats import record
+
+        WORKER_ENTRY_POINTS = ("launch",)
+
+        def launch(spec):
+            return record(spec)
+
+        def run_spec(spec):
+            return spec
+    """
+    index = build_index(tmp_path, files)
+    assert worker_entry_points(index) == ("launch",)
+    hits = effects(tmp_path, files, "effect-shared-write")
+    assert len(hits) == 1
+    assert "sim.parallel.launch" in hits[0].message
+
+
+# ----------------------------------------------------------------------
+# effect-fork-unsafe
+# ----------------------------------------------------------------------
+
+FORK_HANDLE_BAD = {
+    "sim/parallel.py": """\
+        from repro.sim.trace import log
+
+        WORKER_ENTRY_POINTS = ("run_spec",)
+
+        def run_spec(spec):
+            log(str(spec))
+            return spec
+    """,
+    "sim/trace.py": """\
+        _LOG = open("/tmp/trace.log", "a")
+
+        def log(message):
+            _LOG.write(message)
+    """,
+}
+
+FORK_HANDLE_GOOD = {
+    "sim/parallel.py": FORK_HANDLE_BAD["sim/parallel.py"],
+    "sim/trace.py": """\
+        def log(message):
+            with open("/tmp/trace.log", "a") as handle:
+                handle.write(message)
+    """,
+}
+
+
+def test_fork_unsafe_fires_on_global_handle(tmp_path):
+    hits = effects(tmp_path, FORK_HANDLE_BAD, "effect-fork-unsafe")
+    assert len(hits) == 1
+    assert "sim.trace:_LOG" in hits[0].message
+    assert "sim.parallel.run_spec -> sim.trace.log" in hits[0].message
+
+
+def test_fork_unsafe_clean_on_function_local_handle(tmp_path):
+    assert not effects(tmp_path, FORK_HANDLE_GOOD, "effect-fork-unsafe")
+
+
+def test_fork_unsafe_fires_on_direct_fork(tmp_path):
+    files = {
+        "guestos/spawn.py": """\
+            import os
+
+            def clone_worker():
+                return os.fork()
+        """,
+    }
+    hits = effects(tmp_path, files, "effect-fork-unsafe")
+    assert len(hits) == 1
+    assert "os.fork" in hits[0].message
+
+
+# ----------------------------------------------------------------------
+# effect-rng-aliasing
+# ----------------------------------------------------------------------
+
+RNG_SPLIT_BAD = {
+    "sim/faults.py": """\
+        def perturb(rng, value):
+            return value + rng.random()
+    """,
+    "sim/policy.py": """\
+        from repro.sim.faults import perturb
+
+        class Policy:
+            def __init__(self, rng):
+                self.rng = rng
+
+            def decide(self, value):
+                jitter = self.rng.random()
+                return perturb(self.rng, value) + jitter
+    """,
+}
+
+RNG_SPLIT_GOOD = {
+    "sim/faults.py": RNG_SPLIT_BAD["sim/faults.py"],
+    "sim/policy.py": """\
+        from repro.sim.faults import perturb
+
+        class Policy:
+            def __init__(self, place_rng, fault_rng):
+                self.place_rng = place_rng
+                self.fault_rng = fault_rng
+
+            def decide(self, value):
+                jitter = self.place_rng.random()
+                return perturb(self.fault_rng, value)
+    """,
+}
+
+
+def test_rng_aliasing_fires_on_stream_split_across_call(tmp_path):
+    hits = effects(tmp_path, RNG_SPLIT_BAD, "effect-rng-aliasing")
+    assert len(hits) == 1
+    # Callee-summary evidence: the callee's own stream appears in the
+    # message alongside the caller-frame identity it maps to.
+    assert "Policy.rng" in hits[0].message
+    assert "perturb()" in hits[0].message
+    assert "param:rng" in hits[0].message
+
+
+def test_rng_aliasing_clean_when_streams_are_disjoint(tmp_path):
+    assert not effects(tmp_path, RNG_SPLIT_GOOD, "effect-rng-aliasing")
+
+
+def test_rng_aliasing_fires_on_two_streams_in_one_body(tmp_path):
+    files = {
+        "sim/policy.py": """\
+            class Policy:
+                def __init__(self, place_rng, fault_rng):
+                    self.place_rng = place_rng
+                    self.fault_rng = fault_rng
+
+                def mix(self):
+                    return self.place_rng.random() + self.fault_rng.random()
+        """,
+    }
+    hits = effects(tmp_path, files, "effect-rng-aliasing")
+    assert len(hits) == 1
+    assert "Policy.fault_rng" in hits[0].message
+    assert "Policy.place_rng" in hits[0].message
+
+
+# ----------------------------------------------------------------------
+# effect-order-dep
+# ----------------------------------------------------------------------
+
+ORDER_DEP_BAD = {
+    "sim/kernel.py": """\
+        def jitter(rng):
+            return rng.random()
+
+        def scatter(nodes, rng):
+            total = 0.0
+            for name in nodes.keys():
+                total += jitter(rng)
+            return total
+    """,
+}
+
+ORDER_DEP_GOOD = {
+    "sim/kernel.py": """\
+        def jitter(rng):
+            return rng.random()
+
+        def scatter(nodes, rng):
+            total = 0.0
+            for name in sorted(nodes):
+                total += jitter(rng)
+            return total
+    """,
+}
+
+
+def test_order_dep_fires_via_callee_summary(tmp_path):
+    hits = effects(tmp_path, ORDER_DEP_BAD, "effect-order-dep")
+    assert len(hits) == 1
+    assert "dict .keys() view" in hits[0].message
+    # Interprocedural evidence: the draw is inside the callee, found
+    # through its summary, and named in the message.
+    assert "jitter() draws from RNG stream" in hits[0].message
+
+
+def test_order_dep_clean_when_sorted(tmp_path):
+    assert not effects(tmp_path, ORDER_DEP_GOOD, "effect-order-dep")
+
+
+def test_order_dep_fires_on_direct_draw_in_set_loop(tmp_path):
+    files = {
+        "sim/kernel.py": """\
+            def pick(extents, rng):
+                for extent in set(extents):
+                    if rng.random() < 0.5:
+                        return extent
+                return None
+        """,
+    }
+    hits = effects(tmp_path, files, "effect-order-dep")
+    assert len(hits) == 1
+    assert "set()" in hits[0].message
+
+
+def test_effect_rule_metadata_namespace():
+    metadata = effect_rule_metadata()
+    assert set(metadata) == {
+        "effect-shared-write",
+        "effect-fork-unsafe",
+        "effect-rng-aliasing",
+        "effect-order-dep",
+    }
+    assert all(rule.startswith("effect-") for rule in metadata)
+
+
+def test_suppression_comment_applies_to_effect_findings(tmp_path):
+    files = {
+        "sim/parallel.py": PARALLEL_RUNNER,
+        "sim/stats.py": """\
+            _MEMO = {}
+
+            def record(spec):
+                # heterolint: disable-next-line=effect-shared-write
+                _MEMO[spec] = 1
+                return _MEMO
+        """,
+    }
+    report, _index = deep_lint_paths(
+        [make_tree(tmp_path, files)],
+        include_shallow=False,
+        include_deep=False,
+        include_effects=True,
+    )
+    assert not report.findings
+    assert any(
+        f.rule_id == "effect-shared-write" for f in report.suppressed
+    )
+
+
+# ----------------------------------------------------------------------
+# Phase certification
+# ----------------------------------------------------------------------
+
+ENGINE_CLEAN = {
+    "sim/engine.py": """\
+        STEP_PHASES = {
+            "timing": {
+                "roots": ["Engine._timing_phase"],
+                "writes": ["Stats.stall_ns"],
+            },
+        }
+
+        class Stats:
+            def __init__(self):
+                self.stall_ns = 0.0
+
+        class Engine:
+            def __init__(self, stats: Stats):
+                self.stats = stats
+
+            def _timing_phase(self, demand):
+                self.stats.stall_ns = demand * 2.0
+                return self.stats.stall_ns
+    """,
+}
+
+
+def certify(tmp_path, files):
+    index = build_index(tmp_path, files)
+    return compute_ledger(index, EffectAnalysis(index))
+
+
+def test_certify_clean_phase(tmp_path):
+    ledger = certify(tmp_path, ENGINE_CLEAN)
+    phase = ledger["phases"]["timing"]
+    assert phase["certified"]
+    assert phase["observed_writes"] == ["Stats.stall_ns"]
+    assert phase["violations"] == []
+
+
+def test_certify_flags_rng_and_undeclared_write(tmp_path):
+    files = {
+        "sim/engine.py": """\
+            STEP_PHASES = {
+                "timing": {
+                    "roots": ["Engine._timing_phase"],
+                    "writes": ["Stats.stall_ns"],
+                },
+            }
+
+            class Stats:
+                def __init__(self):
+                    self.stall_ns = 0.0
+
+            class Engine:
+                def __init__(self, stats: Stats, rng):
+                    self.stats = stats
+                    self.rng = rng
+
+                def _timing_phase(self, demand):
+                    self.stats.stall_ns = demand * self.rng.random()
+                    self.last_demand = demand
+                    return self.stats.stall_ns
+        """,
+    }
+    phase = certify(tmp_path, files)["phases"]["timing"]
+    assert not phase["certified"]
+    kinds = {v.split(" ", 1)[0] for v in phase["violations"]}
+    assert kinds == {"rng-draw", "undeclared-write"}
+
+
+def test_certify_flags_transitive_effect_with_provenance(tmp_path):
+    files = {
+        "sim/engine.py": """\
+            from repro.sim.faults import fires
+
+            STEP_PHASES = {
+                "demand": {"roots": ["Engine._demand_phase"], "writes": []},
+            }
+
+            class Engine:
+                def _demand_phase(self, rng):
+                    return fires(rng)
+        """,
+        "sim/faults.py": """\
+            def fires(rng):
+                return rng.random() < 0.1
+        """,
+    }
+    phase = certify(tmp_path, files)["phases"]["demand"]
+    assert not phase["certified"]
+    assert any(
+        v.startswith("rng-draw") and "via sim.faults.fires" in v
+        for v in phase["violations"]
+    )
+
+
+def test_certify_assume_patterns_and_wildcards(tmp_path):
+    files = {
+        "sim/engine.py": """\
+            STEP_PHASES = {
+                "sample": {
+                    "roots": ["Engine._sample_phase"],
+                    "writes": ["Engine._prev_*"],
+                    "assume": {
+                        "?.on_sample": "sinks never feed back into state",
+                    },
+                },
+            }
+
+            class Engine:
+                def _sample_phase(self, sinks, pages):
+                    self._prev_pages = pages
+                    self._prev_epoch = pages // 4096
+                    for sink in sinks:
+                        sink.on_sample(pages)
+        """,
+    }
+    phase = certify(tmp_path, files)["phases"]["sample"]
+    assert phase["certified"]
+    assert phase["observed_writes"] == [
+        "Engine._prev_epoch", "Engine._prev_pages",
+    ]
+    assert phase["assumed"] == {
+        "?.on_sample": "sinks never feed back into state",
+    }
+
+
+def test_certify_unassumed_opaque_call_blocks(tmp_path):
+    files = {
+        "sim/engine.py": """\
+            STEP_PHASES = {
+                "policy": {"roots": ["Engine._policy_phase"], "writes": []},
+            }
+
+            class Engine:
+                def _policy_phase(self, epoch):
+                    return self.hook(epoch)
+        """,
+    }
+    phase = certify(tmp_path, files)["phases"]["policy"]
+    assert not phase["certified"]
+    assert any(
+        v.startswith("unknown-call Engine.hook")
+        for v in phase["violations"]
+    )
+
+
+def test_certify_missing_root_is_a_violation(tmp_path):
+    files = {
+        "sim/engine.py": """\
+            STEP_PHASES = {
+                "timing": {"roots": ["Engine._gone"], "writes": []},
+            }
+
+            class Engine:
+                pass
+        """,
+    }
+    phase = certify(tmp_path, files)["phases"]["timing"]
+    assert not phase["certified"]
+    assert phase["violations"] == ["missing-root sim.engine.Engine._gone"]
+
+
+def test_certify_without_marker_raises(tmp_path):
+    files = {"sim/engine.py": "class Engine:\n    pass\n"}
+    index = build_index(tmp_path, files)
+    with pytest.raises(LintError):
+        compute_ledger(index, EffectAnalysis(index))
+
+
+def test_ledger_json_is_deterministic(tmp_path):
+    first = ledger_json(certify(tmp_path, ENGINE_CLEAN))
+    second = ledger_json(certify(tmp_path, ENGINE_CLEAN))
+    assert first == second
+    assert first.endswith("\n")
+    json.loads(first)  # valid JSON
+
+
+# ----------------------------------------------------------------------
+# Ledger diffing
+# ----------------------------------------------------------------------
+
+
+def _phase(certified=True, violations=()):
+    return {
+        "certified": certified,
+        "roots": ["Engine._timing_phase"],
+        "declared_writes": [],
+        "observed_writes": [],
+        "assumed": {},
+        "violations": sorted(violations),
+    }
+
+
+def test_diff_ledgers_equal_is_empty():
+    ledger = {"version": 1, "phases": {"timing": _phase()}}
+    assert diff_ledgers(ledger, ledger) == []
+
+
+def test_diff_ledgers_reports_decertification_with_new_effects():
+    committed = {"version": 1, "phases": {"timing": _phase()}}
+    fresh = {
+        "version": 1,
+        "phases": {
+            "timing": _phase(
+                certified=False,
+                violations=["rng-draw Engine.rng"],
+            )
+        },
+    }
+    problems = diff_ledgers(committed, fresh)
+    assert len(problems) == 1
+    assert "DECERTIFIED" in problems[0]
+    assert "rng-draw Engine.rng" in problems[0]
+
+
+def test_diff_ledgers_reports_new_and_gone_phases():
+    committed = {"version": 1, "phases": {"timing": _phase()}}
+    fresh = {"version": 1, "phases": {"sample": _phase()}}
+    problems = diff_ledgers(committed, fresh)
+    assert any("new (not in committed ledger)" in p for p in problems)
+    assert any("gone from the fresh run" in p for p in problems)
+
+
+def test_diff_ledgers_reports_changed_fields():
+    committed = {"version": 1, "phases": {"timing": _phase()}}
+    changed = _phase()
+    changed["observed_writes"] = ["Stats.stall_ns"]
+    fresh = {"version": 1, "phases": {"timing": changed}}
+    problems = diff_ledgers(committed, fresh)
+    assert len(problems) == 1
+    assert "observed_writes changed" in problems[0]
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+
+
+def test_cli_certify_write_then_check(tmp_path, capsys, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    root = make_tree(tmp_path, ENGINE_CLEAN)
+    ledger_path = tmp_path / "ledger.json"
+    assert main(["certify", str(root), "--out", str(ledger_path)]) == 0
+    out = capsys.readouterr().out
+    assert "timing" in out and "certified" in out
+    assert ledger_path.exists()
+
+    assert (
+        main(["certify", str(root), "--out", str(ledger_path), "--check"])
+        == 0
+    )
+    assert "matches" in capsys.readouterr().out
+
+
+def test_cli_certify_check_fails_on_impurified_phase(tmp_path, capsys, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    root = make_tree(tmp_path, ENGINE_CLEAN)
+    ledger_path = tmp_path / "ledger.json"
+    assert main(["certify", str(root), "--out", str(ledger_path)]) == 0
+    capsys.readouterr()
+
+    engine = root / "sim" / "engine.py"
+    source = engine.read_text(encoding="utf-8")
+    assert "demand * 2.0" in source
+    engine.write_text(
+        source.replace("demand * 2.0", "demand * self.rng.random()"),
+        encoding="utf-8",
+    )
+    assert (
+        main(["certify", str(root), "--out", str(ledger_path), "--check"])
+        == 1
+    )
+    out = capsys.readouterr().out
+    assert "DECERTIFIED" in out
+    assert "rng-draw" in out
+
+
+def test_cli_certify_without_marker_exits_2(tmp_path, capsys, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    root = make_tree(tmp_path, {"sim/engine.py": "x = 1\n"})
+    assert main(["certify", str(root)]) == 2
+
+
+def test_cli_lint_effects_flag(tmp_path, capsys, monkeypatch):
+    monkeypatch.chdir(tmp_path)
+    root = make_tree(tmp_path, SHARED_WRITE_BAD)
+    assert main(["lint", "--effects", str(root)]) == 1
+    assert "effect-shared-write" in capsys.readouterr().out

@@ -25,6 +25,7 @@ from repro.devtools.flow import (
     deep_rule_metadata,
     report_to_sarif,
 )
+from repro.devtools.lint import Finding
 from repro.errors import LintError
 
 
@@ -515,6 +516,30 @@ def test_cache_invalidated_by_source_change(tmp_path):
     assert not second.findings
 
 
+def test_cache_rejects_other_interpreters_payload(tmp_path):
+    # The filename is tagged per Python minor, but a mis-keyed CI cache
+    # can restore another interpreter's file under this name — the
+    # payload-embedded version tag must reject it on load.
+    import pickle
+
+    from repro.devtools.flow.cache import _cache_path, load_contexts
+
+    root = make_tree(tmp_path, {"core/t.py": MIX_BAD})
+    cache_dir = tmp_path / "cache"
+    deep_lint_paths([root], cache_dir=cache_dir)
+    cache_file = _cache_path(cache_dir)
+    payload = pickle.loads(cache_file.read_bytes())
+    assert len(payload["python"]) == 2
+
+    payload["python"] = (3, 999)
+    cache_file.write_bytes(pickle.dumps(payload))
+    files = sorted(root.rglob("*.py"))
+    assert load_contexts(cache_dir, files) == {}
+
+    report, _ = deep_lint_paths([root], cache_dir=cache_dir)
+    assert report.findings  # re-parsed from source, analysis intact
+
+
 def test_corrupt_cache_degrades_gracefully(tmp_path):
     root = make_tree(tmp_path, {"core/t.py": MIX_BAD})
     cache_dir = tmp_path / "cache"
@@ -645,6 +670,72 @@ def test_sarif_output_validates_and_splits_tools(tmp_path):
         rules = [r["id"] for r in run["tool"]["driver"]["rules"]]
         for result in run["results"]:
             assert rules[result["ruleIndex"]] == result["ruleId"]
+
+
+def test_sarif_four_tool_runs_with_stable_namespaces(tmp_path):
+    # One run object per tool when shallow lint, deep flow, effect, and
+    # sanitizer findings land in the same report.
+    files = {
+        "core/t.py": MIX_BAD,  # flow- -> heteroflow
+        "core/magic.py": "x = 4096\n",  # bare id -> heterolint
+        "sim/parallel.py": """\
+            from repro.sim.stats import record
+
+            WORKER_ENTRY_POINTS = ("run_spec",)
+
+            def run_spec(spec):
+                return record(spec)
+        """,
+        "sim/stats.py": """\
+            _MEMO = {}
+
+            def record(spec):
+                _MEMO[spec] = 1
+                return _MEMO
+        """,  # effect- -> heteroeffect
+    }
+    report, _index = deep_lint_paths(
+        [make_tree(tmp_path, files)],
+        include_shallow=True,
+        include_effects=True,
+    )
+    report.findings.append(
+        Finding(
+            rule_id="san-double-allocate",
+            path="src/repro/guestos/kernel.py",
+            line=10,
+            col=0,
+            message="frame allocated twice without an intervening free",
+        )
+    )
+    payload = report_to_sarif(report, combined_rule_metadata())
+    _validate_sarif(payload)
+    by_name = {
+        run["tool"]["driver"]["name"]: run for run in payload["runs"]
+    }
+    assert set(by_name) == {
+        "heterolint", "heteroflow", "heteroeffect", "framesan",
+    }
+    prefix = {
+        "heterolint": ("",),
+        "heteroflow": ("flow-",),
+        "heteroeffect": ("effect-",),
+        "framesan": ("san-",),
+    }
+    for name, run in by_name.items():
+        assert run["results"], name
+        for result in run["results"]:
+            rule_id = result["ruleId"]
+            if name == "heterolint":
+                assert not rule_id.startswith(("flow-", "san-", "effect-"))
+            else:
+                assert rule_id.startswith(prefix[name])
+        if name == "framesan":
+            # Sanitizer defect classes carry no static rationale table.
+            continue
+        # Every rule in the table has a real rationale, not an echo.
+        for rule in run["tool"]["driver"]["rules"]:
+            assert rule["shortDescription"]["text"] != rule["id"]
 
 
 def test_sarif_clean_report_is_still_valid(tmp_path):

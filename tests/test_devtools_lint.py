@@ -48,6 +48,48 @@ def test_unseeded_random_allows_seeded_instance():
     assert not rule_hits(src, rule_id="unseeded-random")
 
 
+def test_unseeded_random_sees_through_module_alias():
+    src = "import random as rnd\nx = rnd.random()\nr = rnd.Random()\n"
+    assert len(rule_hits(src, rule_id="unseeded-random")) == 2
+
+
+def test_unseeded_random_flags_from_imports():
+    src = (
+        "from random import randint, shuffle as mix\n"
+        "from time import monotonic\n"
+        "x = randint(0, 9)\n"
+        "mix([1, 2])\n"
+        "t = monotonic()\n"
+    )
+    assert len(rule_hits(src, rule_id="unseeded-random")) == 3
+
+
+def test_unseeded_random_flags_from_imported_bare_random_class():
+    src = "from random import Random\nr = Random()\nok = Random(7)\n"
+    hits = rule_hits(src, rule_id="unseeded-random")
+    assert len(hits) == 1
+    assert hits[0].line == 2
+
+
+def test_unseeded_random_descends_into_comprehensions_and_lambdas():
+    src = (
+        "import random\n"
+        "xs = [random.random() for _ in range(4)]\n"
+        "key = lambda item: random.gauss(0.0, 1.0)\n"
+    )
+    assert len(rule_hits(src, rule_id="unseeded-random")) == 2
+
+
+def test_unseeded_random_ignores_unrelated_names():
+    src = (
+        "import numpy.random as nprand\n"
+        "from mylib import randint\n"
+        "x = nprand.random()\n"
+        "y = randint(3)\n"
+    )
+    assert not rule_hits(src, rule_id="unseeded-random")
+
+
 # ----------------------------------------------------------------------
 # foreign-raise
 # ----------------------------------------------------------------------
