@@ -167,6 +167,7 @@ def cmd_lint(args: argparse.Namespace) -> int:
     from repro.errors import LintError
 
     if args.list_rules:
+        from repro.devtools.contract import contract_rule_metadata
         from repro.devtools.effect import effect_rule_metadata
 
         for rule_id, rule_cls in sorted(all_rules().items()):
@@ -175,24 +176,55 @@ def cmd_lint(args: argparse.Namespace) -> int:
             print(f"{rule_id} [deep]: {rationale}")
         for rule_id, rationale in sorted(effect_rule_metadata().items()):
             print(f"{rule_id} [effects]: {rationale}")
+        for rule_id, rationale in sorted(contract_rule_metadata().items()):
+            print(f"{rule_id} [contracts]: {rationale}")
         return 0
     rule_ids = args.rules.split(",") if args.rules else None
+    changed = None
+    if args.changed:
+        from repro.devtools.flow import changed_python_files
+
+        if args.write_baseline:
+            print(
+                "repro lint: --changed and --write-baseline conflict "
+                "(a scoped run would drop baseline entries)",
+                file=sys.stderr,
+            )
+            return 2
+        changed = changed_python_files(args.paths)
+        if changed is None:
+            print(
+                "repro lint: --changed needs a git work tree",
+                file=sys.stderr,
+            )
+            return 2
+        if not changed:
+            print("no changed Python files under the requested paths")
+            return 0
     try:
-        if args.deep or args.effects:
+        if args.deep or args.effects or args.contracts:
             baseline = None
             baseline_path = args.baseline
             if baseline_path is None and os.path.exists(DEFAULT_BASELINE):
                 baseline_path = DEFAULT_BASELINE
             if baseline_path is not None and not args.write_baseline:
                 baseline = Baseline.load(baseline_path)
-            report, _index = deep_lint_paths(
+            # Deep analyses are whole-program: even under --changed the
+            # full tree is parsed (cache-warm), then findings are scoped
+            # to the changed files' reverse call-graph closure.
+            report, index = deep_lint_paths(
                 args.paths,
                 rule_ids=rule_ids,
                 baseline=baseline,
                 cache_dir=args.cache_dir,
                 include_deep=args.deep,
                 include_effects=args.effects,
+                include_contracts=args.contracts,
             )
+            if changed is not None:
+                from repro.devtools.flow import scope_to_changed
+
+                report = scope_to_changed(report, index, changed)
             if args.write_baseline:
                 target = args.baseline or DEFAULT_BASELINE
                 Baseline.from_findings(report.findings).save(target)
@@ -202,6 +234,10 @@ def cmd_lint(args: argparse.Namespace) -> int:
                     f"{target} (fill in the justifications)"
                 )
                 return 0
+        elif changed is not None:
+            report = lint_paths(
+                sorted(str(path) for path in changed), rule_ids=rule_ids
+            )
         else:
             report = lint_paths(args.paths, rule_ids=rule_ids)
     except LintError as exc:
@@ -218,7 +254,7 @@ def cmd_lint(args: argparse.Namespace) -> int:
 
 def cmd_certify(args: argparse.Namespace) -> int:
     from repro.devtools.effect import (
-        EffectAnalysis,
+        cached_effect_analysis,
         compute_ledger,
         diff_ledgers,
         ledger_json,
@@ -231,7 +267,9 @@ def cmd_certify(args: argparse.Namespace) -> int:
     files, contexts = _parse_all(args.paths, args.cache_dir)
     index = ProjectIndex.build(args.paths, contexts=contexts)
     try:
-        ledger = compute_ledger(index, EffectAnalysis(index))
+        ledger = compute_ledger(
+            index, cached_effect_analysis(index, args.cache_dir)
+        )
     except LintError as exc:
         print(f"repro certify: {exc}", file=sys.stderr)
         return 2
@@ -550,6 +588,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="also run the heteroeffect race/fork-safety rules "
         "(effect-shared-write, effect-fork-unsafe, effect-rng-aliasing, "
         "effect-order-dep); combinable with --deep",
+    )
+    lint_parser.add_argument(
+        "--contracts", action="store_true",
+        help="also run the heterocontract cross-layer drift rules "
+        "(contract-spec-field, contract-sample-sum, contract-fault-kind, "
+        "contract-obs-pure, contract-registry); combinable with "
+        "--deep/--effects",
+    )
+    lint_parser.add_argument(
+        "--changed", action="store_true",
+        help="scope the run to files git reports as changed or "
+        "untracked; deep passes still analyze the whole tree but only "
+        "report findings in the changed files' reverse call-graph "
+        "closure (pre-commit mode)",
     )
     lint_parser.set_defaults(func=cmd_lint)
 

@@ -1,0 +1,222 @@
+"""Static field-set and registry extractors over the project index.
+
+Every heterocontract rule reduces to "these two hand-maintained field
+sets must agree"; this module extracts those sets from the AST without
+importing the modules under analysis (the same no-import discipline as
+``worker_entry_points`` and the phase certifier's ``STEP_PHASES``
+loader).  Extractors return names *with source positions* so findings
+anchor on the drifted declaration, not on the rule.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.devtools.flow.graph import (
+    ClassInfo,
+    FunctionInfo,
+    ModuleInfo,
+    ProjectIndex,
+)
+
+__all__ = [
+    "call_sites_of",
+    "dataclass_fields",
+    "decorated_registrations",
+    "dict_literal_entries",
+    "load_marker",
+    "marker_site",
+    "returned_dict_keys",
+    "used_attribute_names",
+    "used_call_names",
+    "used_string_constants",
+]
+
+
+def _module_assign(
+    module: ModuleInfo, name: str
+) -> "ast.Assign | ast.AnnAssign | None":
+    """The top-level assignment binding ``name``, if any."""
+    for node in module.ctx.tree.body:
+        if (
+            isinstance(node, ast.Assign)
+            and len(node.targets) == 1
+            and isinstance(node.targets[0], ast.Name)
+            and node.targets[0].id == name
+        ):
+            return node
+        if (
+            isinstance(node, ast.AnnAssign)
+            and isinstance(node.target, ast.Name)
+            and node.target.id == name
+            and node.value is not None
+        ):
+            return node
+    return None
+
+
+def load_marker(index: ProjectIndex, module_name: str, name: str):
+    """``ast.literal_eval`` of a module-level pure-literal marker, or
+    ``None`` when the module or marker is absent / not a literal."""
+    module = index.modules.get(module_name)
+    if module is None:
+        return None
+    node = _module_assign(module, name)
+    if node is None:
+        return None
+    try:
+        return ast.literal_eval(node.value)
+    except ValueError:
+        return None
+
+
+def marker_site(
+    index: ProjectIndex, module_name: str, name: str
+) -> "tuple[str, int] | None":
+    """``(relpath, line)`` of a module-level marker assignment."""
+    module = index.modules.get(module_name)
+    if module is None:
+        return None
+    node = _module_assign(module, name)
+    if node is None:
+        return None
+    return module.ctx.relpath, node.lineno
+
+
+def dataclass_fields(cinfo: ClassInfo) -> "dict[str, int]":
+    """Field name -> line for every annotated field in the class body.
+
+    ``ClassVar`` annotations and underscore-prefixed names are not
+    instance fields and are skipped.
+    """
+    fields: "dict[str, int]" = {}
+    for node in cinfo.node.body:
+        if not isinstance(node, ast.AnnAssign):
+            continue
+        if not isinstance(node.target, ast.Name):
+            continue
+        name = node.target.id
+        if name.startswith("_"):
+            continue
+        annotation = ast.dump(node.annotation)
+        if "ClassVar" in annotation:
+            continue
+        fields[name] = node.lineno
+    return fields
+
+
+def dict_literal_entries(
+    node: ast.expr,
+) -> "list[tuple[str, ast.expr, int]]":
+    """``(key, value-node, line)`` for every string key of a dict
+    literal; empty for any other expression shape."""
+    entries: "list[tuple[str, ast.expr, int]]" = []
+    if not isinstance(node, ast.Dict):
+        return entries
+    for key, value in zip(node.keys, node.values):
+        if (
+            key is not None
+            and isinstance(key, ast.Constant)
+            and isinstance(key.value, str)
+        ):
+            entries.append((key.value, value, key.lineno))
+    return entries
+
+
+def returned_dict_keys(info: FunctionInfo) -> "dict[str, int]":
+    """String keys (-> line) of every dict literal the function returns.
+
+    This is the static shape of a ``canonical()``/``to_dict()``
+    serializer: ``return {"field": self.field, ...}``.
+    """
+    keys: "dict[str, int]" = {}
+    for node in ast.walk(info.node):
+        if isinstance(node, ast.Return) and node.value is not None:
+            for key, _value, line in dict_literal_entries(node.value):
+                keys.setdefault(key, line)
+    return keys
+
+
+def used_attribute_names(info: FunctionInfo) -> "set[str]":
+    """Every attribute name read or written anywhere in the body."""
+    return {
+        node.attr
+        for node in ast.walk(info.node)
+        if isinstance(node, ast.Attribute)
+    }
+
+
+def used_string_constants(info: FunctionInfo) -> "set[str]":
+    return {
+        node.value
+        for node in ast.walk(info.node)
+        if isinstance(node, ast.Constant) and isinstance(node.value, str)
+    }
+
+
+def used_call_names(info: FunctionInfo) -> "set[str]":
+    """Called names, both bare (``asdict``) and dotted-last
+    (``dataclasses.asdict`` contributes both forms)."""
+    names: "set[str]" = set()
+    for node in ast.walk(info.node):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if isinstance(func, ast.Name):
+            names.add(func.id)
+        elif isinstance(func, ast.Attribute):
+            names.add(func.attr)
+            parts: "list[str]" = [func.attr]
+            value = func.value
+            while isinstance(value, ast.Attribute):
+                parts.append(value.attr)
+                value = value.value
+            if isinstance(value, ast.Name):
+                parts.append(value.id)
+                names.add(".".join(reversed(parts)))
+    return names
+
+
+def call_sites_of(
+    index: ProjectIndex, method_name: str
+) -> "Iterator[tuple[FunctionInfo, str, int, int]]":
+    """Every ``<recv>.<method_name>("literal")`` call in the project:
+    ``(enclosing function, first-arg string, line, col)``."""
+    for qualname in sorted(index.functions):
+        info = index.functions[qualname]
+        for node in ast.walk(info.node):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == method_name
+                and node.args
+                and isinstance(node.args[0], ast.Constant)
+                and isinstance(node.args[0].value, str)
+            ):
+                yield info, node.args[0].value, node.lineno, node.col_offset
+
+
+def decorated_registrations(
+    index: ProjectIndex, decorator_name: str, module_prefix: str
+) -> "list[tuple[str, ClassInfo, int]]":
+    """Every ``@<decorator_name>("literal")``-decorated class under the
+    module prefix: ``(registered name, class, decorator line)``."""
+    registrations: "list[tuple[str, ClassInfo, int]]" = []
+    for qualname in sorted(index.classes):
+        cinfo = index.classes[qualname]
+        if not cinfo.module.startswith(module_prefix):
+            continue
+        for decorator in cinfo.node.decorator_list:
+            if (
+                isinstance(decorator, ast.Call)
+                and isinstance(decorator.func, ast.Name)
+                and decorator.func.id == decorator_name
+                and decorator.args
+                and isinstance(decorator.args[0], ast.Constant)
+                and isinstance(decorator.args[0].value, str)
+            ):
+                registrations.append(
+                    (decorator.args[0].value, cinfo, decorator.lineno)
+                )
+    return registrations

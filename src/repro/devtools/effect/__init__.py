@@ -37,6 +37,8 @@ from repro.devtools.effect.summary import (
     EffectAnalysis,
     EffectSite,
     EffectSummary,
+    analysis_cache_key,
+    cached_effect_analysis,
 )
 
 __all__ = [
@@ -47,6 +49,8 @@ __all__ = [
     "EffectSite",
     "EffectSummary",
     "LEDGER_VERSION",
+    "analysis_cache_key",
+    "cached_effect_analysis",
     "compute_ledger",
     "diff_ledgers",
     "effect_rule_metadata",

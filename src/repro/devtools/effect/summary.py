@@ -37,7 +37,13 @@ from repro.devtools.flow.graph import (
     ordered_nodes,
 )
 
-__all__ = ["EffectSite", "EffectSummary", "EffectAnalysis"]
+__all__ = [
+    "EffectSite",
+    "EffectSummary",
+    "EffectAnalysis",
+    "analysis_cache_key",
+    "cached_effect_analysis",
+]
 
 #: Method names that always mean an RNG draw, whatever the receiver.
 _DRAW_ALWAYS = frozenset(
@@ -216,14 +222,28 @@ class _ModuleFacts:
 
 
 class EffectAnalysis:
-    """Per-function effect summaries over the whole project."""
+    """Per-function effect summaries over the whole project.
 
-    def __init__(self, index: ProjectIndex, max_rounds: int = 12) -> None:
+    ``_restored`` short-circuits the expensive site extraction and
+    fixpoint with ``(summaries, direct, reach_edges)`` previously
+    persisted by :func:`cached_effect_analysis`; callers must have
+    validated the call-graph key themselves (the cache layer does).
+    """
+
+    def __init__(
+        self,
+        index: ProjectIndex,
+        max_rounds: int = 12,
+        _restored=None,
+    ) -> None:
         self.index = index
         self.module_facts: "dict[str, _ModuleFacts]" = {
             name: _ModuleFacts(module.ctx.tree)
             for name, module in index.modules.items()
         }
+        if _restored is not None:
+            self.summaries, self.direct, self.reach_edges = _restored
+            return
         self.summaries: "dict[str, EffectSummary]" = {
             qualname: EffectSummary() for qualname in index.functions
         }
@@ -737,3 +757,58 @@ class EffectAnalysis:
                             changed = True
             if not changed:
                 break
+
+
+# ----------------------------------------------------------------------
+# Fixpoint persistence (AST-cache payload v3)
+# ----------------------------------------------------------------------
+
+#: Bumped whenever summary extraction or the fixpoint change meaning,
+#: so persisted summaries from an older analysis never satisfy a newer
+#: one even over identical sources.
+EFFECT_CACHE_VERSION = 1
+
+
+def analysis_cache_key(index: ProjectIndex, max_rounds: int = 12) -> str:
+    """A call-graph hash: digest over every indexed module's source
+    (the graph and the summaries derive deterministically from them),
+    the analysis version, and the fixpoint bound."""
+    import hashlib
+
+    digest = hashlib.sha256()
+    digest.update(f"effect-cache-v{EFFECT_CACHE_VERSION}:{max_rounds}".encode())
+    for name in sorted(index.modules):
+        ctx = index.modules[name].ctx
+        digest.update(name.encode("utf-8"))
+        digest.update(
+            hashlib.sha256(ctx.source.encode("utf-8")).digest()
+        )
+    return digest.hexdigest()
+
+
+def cached_effect_analysis(
+    index: ProjectIndex,
+    cache_dir=None,
+    max_rounds: int = 12,
+) -> EffectAnalysis:
+    """An :class:`EffectAnalysis`, restored from the AST cache when the
+    persisted call-graph key matches (warm runs skip the fixpoint
+    entirely) and recomputed + persisted otherwise."""
+    if cache_dir is None:
+        return EffectAnalysis(index, max_rounds)
+    from repro.devtools.flow.cache import (
+        load_effect_summaries,
+        store_effect_summaries,
+    )
+
+    key = analysis_cache_key(index, max_rounds)
+    restored = load_effect_summaries(cache_dir, key)
+    if restored is not None:
+        return EffectAnalysis(index, max_rounds, _restored=restored)
+    analysis = EffectAnalysis(index, max_rounds)
+    store_effect_summaries(
+        cache_dir,
+        key,
+        (analysis.summaries, analysis.direct, analysis.reach_edges),
+    )
+    return analysis

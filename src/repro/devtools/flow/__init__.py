@@ -58,10 +58,12 @@ __all__ = [
     "CORE_PROTOCOLS",
     "ProtocolSpec",
     "ProjectIndex",
+    "changed_python_files",
     "deep_lint_paths",
     "deep_rule_metadata",
     "report_to_sarif",
     "sarif_json",
+    "scope_to_changed",
 ]
 
 
@@ -96,8 +98,9 @@ def deep_rule_metadata() -> "dict[str, str]":
 
 
 def combined_rule_metadata() -> "dict[str, str]":
-    """Shallow + deep + effect rule ids -> rationale, for SARIF rule
-    tables."""
+    """Shallow + deep + effect + contract rule ids -> rationale, for
+    SARIF rule tables."""
+    from repro.devtools.contract import contract_rule_metadata
     from repro.devtools.effect import effect_rule_metadata
 
     metadata = {
@@ -106,7 +109,83 @@ def combined_rule_metadata() -> "dict[str, str]":
     }
     metadata.update(deep_rule_metadata())
     metadata.update(effect_rule_metadata())
+    metadata.update(contract_rule_metadata())
     return metadata
+
+
+def changed_python_files(
+    paths: "Iterable[str | Path]",
+) -> "set[Path] | None":
+    """Resolved paths of every ``.py`` file under ``paths`` that git
+    reports as modified (vs HEAD) or untracked; None when git or a
+    work tree is unavailable (callers should fall back to a full run).
+    """
+    import subprocess
+
+    def _git(*argv: str, cwd: "str | None" = None) -> str:
+        return subprocess.run(
+            ["git", *argv],
+            capture_output=True, text=True, check=True, cwd=cwd,
+        ).stdout
+
+    try:
+        top = _git("rev-parse", "--show-toplevel").strip()
+        listed = _git("diff", "--name-only", "HEAD", "--", cwd=top)
+        listed += _git(
+            "ls-files", "--others", "--exclude-standard", cwd=top
+        )
+    except (OSError, subprocess.CalledProcessError):
+        return None
+    roots = [Path(p).resolve() for p in paths]
+    changed: "set[Path]" = set()
+    for line in listed.splitlines():
+        if not line.endswith(".py"):
+            continue
+        path = (Path(top) / line).resolve()
+        if not path.is_file():  # deleted files have nothing to lint
+            continue
+        if any(path == root or root in path.parents for root in roots):
+            changed.add(path)
+    return changed
+
+
+def scope_to_changed(
+    report: LintReport,
+    index: ProjectIndex,
+    changed: "set[Path]",
+) -> LintReport:
+    """Drop findings outside the changed-file closure, in place.
+
+    The deep analyses are whole-program, so a change in one file can
+    surface a finding anchored in an *unchanged* caller (a dimension
+    mismatch at a call site, a contract consumer).  The closure is the
+    changed files plus every file holding a transitive caller of a
+    function they define — the reverse call-graph cone that a change
+    can actually affect.
+    """
+    keep = set(changed)
+    frontier = [
+        qualname
+        for qualname, info in index.functions.items()
+        if Path(info.ctx.relpath).resolve() in keep
+    ]
+    seen = set(frontier)
+    while frontier:
+        qualname = frontier.pop()
+        for caller_qualname, _call in index.callers.get(qualname, ()):
+            if caller_qualname in seen:
+                continue
+            seen.add(caller_qualname)
+            frontier.append(caller_qualname)
+            info = index.functions.get(caller_qualname)
+            if info is not None:
+                keep.add(Path(info.ctx.relpath).resolve())
+    report.findings = [
+        finding
+        for finding in report.findings
+        if Path(finding.path).resolve() in keep
+    ]
+    return report
 
 
 def _parse_all(
@@ -140,19 +219,24 @@ def deep_lint_paths(
     include_shallow: bool = True,
     include_deep: bool = True,
     include_effects: bool = False,
+    include_contracts: bool = False,
     protocols: "tuple[ProtocolSpec, ...]" = CORE_PROTOCOLS,
 ) -> "tuple[LintReport, ProjectIndex]":
     """Run heteroflow (and, by default, the shallow heterolint rules)
     over every ``.py`` file under ``paths``.
 
     ``include_effects`` adds the heteroeffect race/fork-safety rules
-    (``effect-*``); ``include_deep=False`` skips the heteroflow
-    analyses so ``--effects`` can run without ``--deep``.  Returns the
+    (``effect-*``); ``include_contracts`` adds the heterocontract
+    drift rules (``contract-*``); ``include_deep=False`` skips the
+    heteroflow analyses so ``--effects``/``--contracts`` can run
+    without ``--deep``.  When both effect and contract passes run they
+    share one (cache-restorable) :class:`EffectAnalysis`.  Returns the
     combined report and the project index it was computed from.
     Suppression comments apply to deep findings exactly as they do to
     shallow ones; ``baseline``-accepted findings are moved to the
     report's suppressed list.
     """
+    from repro.devtools.contract import contract_rule_metadata
     from repro.devtools.effect import effect_rule_metadata
 
     wanted = set(rule_ids) if rule_ids is not None else None
@@ -161,6 +245,7 @@ def deep_lint_paths(
             set(all_rules())
             | set(deep_rule_metadata())
             | set(effect_rule_metadata())
+            | set(contract_rule_metadata())
         )
         unknown = sorted(wanted - known)
         if unknown:
@@ -199,11 +284,16 @@ def deep_lint_paths(
         deep_pairs.extend(protocol_analysis.check())
         taint_analysis = TaintAnalysis(index)
         deep_pairs.extend(taint_analysis.check())
-    if include_effects:
-        from repro.devtools.effect import EffectAnalysis, EffectRules
+    if include_effects or include_contracts:
+        from repro.devtools.effect import EffectRules, cached_effect_analysis
 
-        effect_rules = EffectRules(EffectAnalysis(index))
-        deep_pairs.extend(effect_rules.check())
+        analysis = cached_effect_analysis(index, cache_dir)
+        if include_effects:
+            deep_pairs.extend(EffectRules(analysis).check())
+        if include_contracts:
+            from repro.devtools.contract import ContractRules
+
+            deep_pairs.extend(ContractRules(index, analysis).check())
 
     seen: "set[tuple]" = set()
     for ctx_info, finding in deep_pairs:

@@ -1,11 +1,15 @@
-"""Parsed-AST cache for the deep pass.
+"""Parsed-AST + effect-summary cache for the deep pass.
 
-Parsing ~100 files and building the call graph dominates heteroflow's
-runtime, and CI runs it on every PR for two Python versions.  The cache
-pickles each file's parsed :class:`FileContext` keyed by a SHA-256 of
-its source, so an incremental run re-parses only what changed and a CI
-cache hit (``actions/cache`` on the cache directory) skips the parse
-entirely.
+Parsing ~100 files and running the heteroeffect fixpoint dominate the
+deep pass's runtime, and CI runs it on every PR for two Python
+versions.  The cache pickles each file's parsed :class:`FileContext`
+keyed by a SHA-256 of its source, so an incremental run re-parses only
+what changed and a CI cache hit (``actions/cache`` on the cache
+directory) skips the parse entirely.  Since payload v3 the same file
+also carries the heteroeffect fixpoint output (summaries, direct
+sites, reach edges) keyed on a call-graph hash — a digest over every
+indexed module's source — so a warm ``repro lint --effects`` or
+``repro certify`` run skips the fixpoint as well, not just the parse.
 
 Pickled AST nodes keep their parent links, but Python object ids do not
 survive a round-trip — the ``TYPE_CHECKING`` node-id set is rebuilt on
@@ -28,9 +32,14 @@ from pathlib import Path
 
 from repro.devtools.lint import FileContext, _is_type_checking_test
 
-__all__ = ["load_contexts", "store_contexts"]
+__all__ = [
+    "load_contexts",
+    "load_effect_summaries",
+    "store_contexts",
+    "store_effect_summaries",
+]
 
-_FORMAT_VERSION = 2
+_FORMAT_VERSION = 3
 
 
 def _python_tag() -> "tuple[int, int]":
@@ -60,20 +69,29 @@ def _rebind(ctx: FileContext) -> FileContext:
     return ctx
 
 
-def load_contexts(
-    cache_dir: "str | Path", files: "list[Path]"
-) -> "dict[str, FileContext]":
-    """relpath -> parsed FileContext for every cached, unchanged file.
-    Corrupt or stale caches degrade to an empty dict, never an error."""
+def _load_payload(cache_dir: "str | Path") -> "dict | None":
+    """The validated on-disk payload, or None for anything corrupt,
+    stale, or written by another interpreter."""
     path = _cache_path(cache_dir)
     try:
         with open(path, "rb") as handle:
             payload = pickle.load(handle)
     except (OSError, pickle.UnpicklingError, EOFError, AttributeError):
-        return {}
+        return None
     if not isinstance(payload, dict) or payload.get("version") != _FORMAT_VERSION:
-        return {}
+        return None
     if tuple(payload.get("python", ())) != _python_tag():
+        return None
+    return payload
+
+
+def load_contexts(
+    cache_dir: "str | Path", files: "list[Path]"
+) -> "dict[str, FileContext]":
+    """relpath -> parsed FileContext for every cached, unchanged file.
+    Corrupt or stale caches degrade to an empty dict, never an error."""
+    payload = _load_payload(cache_dir)
+    if payload is None:
         return {}
     cached = payload.get("files", {})
     contexts: "dict[str, FileContext]" = {}
@@ -96,10 +114,14 @@ def load_contexts(
 def store_contexts(
     cache_dir: "str | Path", contexts: "dict[str, FileContext]"
 ) -> None:
-    """Persist parsed contexts; best-effort (failure is not an error)."""
+    """Persist parsed contexts; best-effort (failure is not an error).
+
+    A valid effect-summary slot already on disk is carried over — its
+    own call-graph key decides whether it is still usable on load.
+    """
     directory = Path(cache_dir)
     try:
-        directory.mkdir(parents=True, exist_ok=True)
+        existing = _load_payload(directory)
         payload = {
             "version": _FORMAT_VERSION,
             "python": _python_tag(),
@@ -108,6 +130,56 @@ def store_contexts(
                 for relpath, ctx in contexts.items()
             },
         }
+        if existing is not None and "effects" in existing:
+            payload["effects"] = existing["effects"]
+        directory.mkdir(parents=True, exist_ok=True)
+        with open(_cache_path(directory), "wb") as handle:
+            pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
+    except (OSError, pickle.PicklingError):
+        pass
+
+
+def load_effect_summaries(cache_dir: "str | Path", key: str):
+    """The persisted heteroeffect fixpoint output
+    ``(summaries, direct, reach_edges)`` when the stored call-graph key
+    matches ``key``; None on any miss, mismatch, or corruption."""
+    payload = _load_payload(cache_dir)
+    if payload is None:
+        return None
+    effects = payload.get("effects")
+    if not isinstance(effects, dict) or effects.get("key") != key:
+        return None
+    try:
+        return (
+            effects["summaries"],
+            effects["direct"],
+            effects["reach_edges"],
+        )
+    except KeyError:
+        return None
+
+
+def store_effect_summaries(
+    cache_dir: "str | Path", key: str, triple
+) -> None:
+    """Attach the fixpoint output to the cache payload; best-effort."""
+    directory = Path(cache_dir)
+    try:
+        payload = _load_payload(directory)
+        if payload is None:
+            payload = {
+                "version": _FORMAT_VERSION,
+                "python": _python_tag(),
+                "files": {},
+            }
+        summaries, direct, reach_edges = triple
+        payload["effects"] = {
+            "key": key,
+            "summaries": summaries,
+            "direct": direct,
+            "reach_edges": reach_edges,
+        }
+        directory.mkdir(parents=True, exist_ok=True)
         with open(_cache_path(directory), "wb") as handle:
             pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
     except (OSError, pickle.PicklingError):

@@ -1,4 +1,4 @@
-"""SARIF 2.1.0 output for heterolint, heteroflow, and FrameSanitizer.
+"""SARIF 2.1.0 output for the whole devtools family.
 
 GitHub code scanning renders SARIF uploads as inline PR annotations,
 which turns a CI lint failure from a log line into a review comment on
@@ -6,7 +6,8 @@ the offending line.  One run object per tool pass; every rule carries
 its identifier, rationale, and the shared rule-ID namespace documented
 in docs/devtools.md (bare kebab-case for shallow heterolint rules,
 ``flow-`` for heteroflow analyses, ``san-`` for FrameSanitizer defect
-classes, ``effect-`` for heteroeffect race/fork-safety rules).
+classes, ``effect-`` for heteroeffect race/fork-safety rules,
+``contract-`` for heterocontract drift rules).
 """
 
 from __future__ import annotations
@@ -32,6 +33,10 @@ _TOOL_INFO = {
         "heteroeffect",
         "interprocedural effect/race analysis and phase certification",
     ),
+    "contract": (
+        "heterocontract",
+        "cross-layer contract-drift analysis over mirrored declarations",
+    ),
 }
 
 
@@ -42,6 +47,8 @@ def _tool_key(rule_id: str) -> str:
         return "san"
     if rule_id.startswith("effect-"):
         return "effect"
+    if rule_id.startswith("contract-"):
+        return "contract"
     return "lint"
 
 

@@ -27,6 +27,14 @@ combination of sinks produces a field-by-field identical
 with no telemetry — asserted by ``tests/test_obs_telemetry.py``.
 """
 
+#: heterocontract anchor (``contract-obs-pure``): attribute owners the
+#: observability plane may write even though they are not defined in
+#: ``repro.obs``.  Classes defined inside this package are always
+#: allowed; anything else must be listed here (``Class.attr`` idents,
+#: trailing ``*`` wildcards) with a justification in the surrounding
+#: comment.  Empty on purpose: telemetry observes, never steers.
+OBS_WRITE_ALLOWLIST: "tuple[str, ...]" = ()
+
 from repro.obs.bus import Telemetry
 from repro.obs.diff import (
     TimelineDiff,

@@ -57,6 +57,67 @@ _DICT_FIELDS = (
     "events",
 )
 
+#: heterocontract anchor (``contract-sample-sum``): sample fields that
+#: are NOT per-epoch contributions re-summing to a same-named
+#: RunStats/RunResult aggregate, with the reason.  Every other field
+#: must have its aggregate counterpart (statically enforced by
+#: ``repro lint --contracts``).
+NON_ADDITIVE_FIELDS = {
+    "epoch": "ordinal position in the timeline, not a contribution",
+    "llc_misses_cumulative": (
+        "monotonic counter-file reading; the final sample's value "
+        "equals RunStats.llc_misses, per-epoch deltas land in "
+        "llc_misses"
+    ),
+    "tlb_flushes": (
+        "per-epoch TLB activity; whole-run totals are read from "
+        "TlbSnapshot deltas, not accumulated on RunStats"
+    ),
+    "tlb_shootdowns": (
+        "per-epoch TLB activity; whole-run totals are read from "
+        "TlbSnapshot deltas, not accumulated on RunStats"
+    ),
+    "fast_used_pages": "end-of-epoch occupancy gauge, not a contribution",
+    "fast_free_pages": "end-of-epoch occupancy gauge, not a contribution",
+    "alloc_requested_pages": (
+        "per-epoch allocation demand; whole-run accounting aggregates "
+        "per page type in RunResult.alloc_stats"
+    ),
+    "alloc_fast_granted_pages": (
+        "per-epoch allocation grants; whole-run accounting aggregates "
+        "per page type in RunResult.alloc_stats"
+    ),
+    "traffic_by_device": (
+        "per-epoch per-device traffic split; the run total is the "
+        "scalar traffic_bytes, per-device write totals live in "
+        "RunResult.device_write_bytes"
+    ),
+    "alloc_by_type": (
+        "per-epoch per-type allocation split; the whole-run form is "
+        "RunResult.alloc_stats keyed by PageType"
+    ),
+    "occupancy": (
+        "zone/LRU/balloon gauges snapshot at epoch end; gauges do not "
+        "sum"
+    ),
+    "events": (
+        "discrete event records (migration passes, policy decisions); "
+        "counted per kind in RunResult.fault_counts, never summed"
+    ),
+}
+
+#: heterocontract anchor (``contract-sample-sum``, reverse direction):
+#: RunStats aggregates with no per-epoch sample counterpart, with the
+#: reason.
+UNSAMPLED_AGGREGATES = {
+    "epochs": "the timeline length IS the epoch count",
+    "dropped_allocation_pages": (
+        "terminal allocation-overflow accounting charged at drop time; "
+        "per-epoch allocation behaviour is covered by "
+        "alloc_requested/alloc_fast_granted"
+    ),
+}
+
 
 @dataclass
 class EpochSample:

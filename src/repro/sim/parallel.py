@@ -89,6 +89,18 @@ CACHE_DIR_ENV = "REPRO_SWEEP_CACHE_DIR"
 #: OS handles are fork-unsafe.  Keep it in sync with run_specs().
 WORKER_ENTRY_POINTS = ("_run_chunk", "_run_one", "run_spec")
 
+#: heterocontract anchor (``contract-spec-field``): run inputs that are
+#: deliberately NOT part of the cache key, with the reason a reviewer
+#: should see.  Every non-spec ``run_spec`` parameter must appear here,
+#: and every entry must still name such a parameter (stale entries are
+#: findings too).
+CACHE_KEY_EXCLUDED = {
+    "telemetry": (
+        "observation never affects results (the PR 4 no-perturbation "
+        "contract), so it must not perturb cache keys either"
+    ),
+}
+
 #: Named SlowMem device presets a spec may reference (device objects
 #: themselves are not part of a spec so that specs stay hashable and
 #: their canonical form stays JSON-serializable).

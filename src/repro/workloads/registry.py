@@ -22,6 +22,39 @@ _REGISTRY: dict[str, Callable[[], Workload]] = {
     "nginx": make_nginx,
 }
 
+#: heterocontract anchor (``contract-registry``): ``make_*`` workload
+#: factories deliberately NOT in the sweep registry, with the reason.
+#: Every other factory under ``workloads/`` must be registered above
+#: (statically enforced by ``repro lint --contracts``).
+UNREGISTERED_FACTORIES = {
+    "make_synthetic": (
+        "parameterized generator for ad-hoc experiments, not a named "
+        "Table 2 application"
+    ),
+    "make_memlat": (
+        "latency-calibration microbenchmark (Figure 5 methodology), "
+        "driven directly by its experiment module"
+    ),
+    "make_stream": (
+        "bandwidth-calibration microbenchmark, driven directly by its "
+        "experiment module"
+    ),
+    "make_graphchi_twitter": (
+        "Figure 13 scaled variant, instantiated by the fig13 driver "
+        "with its own footprint"
+    ),
+    "make_metis_big": (
+        "Figure 13 scaled variant, instantiated by the fig13 driver "
+        "with its own footprint"
+    ),
+    "make_lsm_store": (
+        "extension workload; opt-in at runtime via register_workload"
+    ),
+    "make_tiered_analytics": (
+        "extension workload; opt-in at runtime via register_workload"
+    ),
+}
+
 #: The apps Figures 9-12 evaluate (NGinx excluded: <10% heterogeneity
 #: impact, Section 5.3).
 PLACEMENT_APPS = ("graphchi", "xstream", "metis", "leveldb", "redis")
