@@ -3,16 +3,53 @@
 Unlike the figure benches (which run once and assert shapes), these are
 real multi-round pytest-benchmark timings of the hot data structures —
 the numbers that matter when someone scales the simulator up.
+
+``test_bench_fast_path_trajectory`` additionally archives
+``benchmarks/_results/BENCH_sim.json``: reference vs. array-backed
+fast path (``repro.sim.fast``) on the heaviest workload, cold first
+step, steady-state epochs/sec, and per-phase nanoseconds from the
+PhaseProfiler.  The committed file is the perf trajectory reviewers
+diff; the in-test assertion is a deliberately modest floor so shared
+CI runners don't flake (see docs/performance.md for the measurement
+protocol behind the committed numbers).
 """
+
+import gc
+import json
+import os
+import pathlib
+import time
 
 from repro.core import make_policy
 from repro.guestos.buddy import BuddyAllocator
 from repro.hw.cache import CacheConfig, LastLevelCache, RegionAccess
 from repro.mem.frames import FramePool
+from repro.obs.bus import Telemetry
+from repro.obs.profiler import PhaseProfiler
 from repro.sim.engine import SimulationEngine
+from repro.sim.fast import HAS_NUMPY
 from repro.sim.runner import build_config
 from repro.units import MIB
 from repro.workloads.registry import make_workload
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "_results"
+
+#: Best-of-N measurement protocol for the trajectory bench: the 1-core
+#: CI boxes see host steal time, so each configuration runs REPS times
+#: and the minimum wall/per-phase time is kept (the rep least perturbed
+#: by the neighbours).  The committed BENCH_sim.json is recorded with
+#: the env knobs raised (see docs/performance.md); the defaults keep
+#: the CI run short.
+BENCH_REPS = int(os.environ.get("REPRO_BENCH_REPS", "5"))
+BENCH_WARMUP_EPOCHS = 4
+BENCH_TIMED_EPOCHS = int(os.environ.get("REPRO_BENCH_EPOCHS", "150"))
+
+#: CI floor for fast/reference end-to-end step() speedup.  The
+#: committed BENCH_sim.json records the real trajectory (>= 3x end to
+#: end, >= 10x on the hottest phase); this assertion only catches the
+#: fast path silently degrading to parity.
+MIN_END_TO_END_SPEEDUP = 1.5
+MIN_HOTTEST_PHASE_SPEEDUP = 2.0
 
 
 def test_perf_buddy_alloc_free_cycle(benchmark):
@@ -65,3 +102,107 @@ def test_perf_engine_epoch_throughput(benchmark):
         engine.step(next(stream))
 
     benchmark(one_epoch)
+
+
+def _one_rep(fast):
+    """One timed repetition: (cold first-step sec, steady wall sec,
+    per-phase seconds over the timed epochs)."""
+    config = build_config(fast_ratio=0.25)
+    config.fast_path = fast
+    profiler = PhaseProfiler()
+    engine = SimulationEngine(
+        config,
+        make_workload("graphchi"),
+        make_policy("hetero-lru"),
+        telemetry=Telemetry(profiler=profiler),
+    )
+    stream = iter(make_workload("graphchi").epochs(10**9))
+    start = time.perf_counter()
+    engine.step(next(stream))
+    cold_sec = time.perf_counter() - start
+    for _ in range(BENCH_WARMUP_EPOCHS - 1):
+        engine.step(next(stream))
+    profiler.seconds.clear()
+    profiler.calls.clear()
+    gc.collect()
+    gc.disable()
+    try:
+        start = time.perf_counter()
+        for _ in range(BENCH_TIMED_EPOCHS):
+            engine.step(next(stream))
+        wall_sec = time.perf_counter() - start
+    finally:
+        gc.enable()
+    return cold_sec, wall_sec, dict(profiler.seconds)
+
+
+def _best_of(fast):
+    """Minimum cold/wall/per-phase times over BENCH_REPS repetitions."""
+    colds, walls, phase_runs = [], [], []
+    for _ in range(BENCH_REPS):
+        cold_sec, wall_sec, phases = _one_rep(fast)
+        colds.append(cold_sec)
+        walls.append(wall_sec)
+        phase_runs.append(phases)
+    best_phases = {
+        phase: min(run[phase] for run in phase_runs)
+        for phase in phase_runs[0]
+    }
+    return min(colds), min(walls), best_phases
+
+
+def _phase_ns(phases):
+    """Per-epoch nanoseconds per phase, the unit BENCH_sim.json records."""
+    return {
+        phase: round(seconds / BENCH_TIMED_EPOCHS * 1e9)
+        for phase, seconds in sorted(phases.items())
+    }
+
+
+def test_bench_fast_path_trajectory():
+    ref_cold, ref_wall, ref_phases = _best_of(fast=False)
+    fast_cold, fast_wall, fast_phases = _best_of(fast=True)
+
+    assert set(ref_phases) == set(fast_phases)
+    assert "demand" in ref_phases, sorted(ref_phases)
+
+    hottest = max(ref_phases, key=ref_phases.get)
+    hottest_speedup = ref_phases[hottest] / fast_phases[hottest]
+    end_to_end_speedup = ref_wall / fast_wall
+
+    payload = {
+        "benchmark": (
+            "SimulationEngine.step() reference vs repro.sim.fast "
+            "(REPRO_FAST) steady state"
+        ),
+        "workload": "graphchi",
+        "policy": "hetero-lru",
+        "timed_epochs": BENCH_TIMED_EPOCHS,
+        "reps_best_of": BENCH_REPS,
+        "has_numpy": HAS_NUMPY,
+        "reference": {
+            "cold_first_step_sec": round(ref_cold, 4),
+            "epochs_per_sec": round(BENCH_TIMED_EPOCHS / ref_wall, 1),
+            "phase_ns_per_epoch": _phase_ns(ref_phases),
+        },
+        "fast": {
+            "cold_first_step_sec": round(fast_cold, 4),
+            "epochs_per_sec": round(BENCH_TIMED_EPOCHS / fast_wall, 1),
+            "phase_ns_per_epoch": _phase_ns(fast_phases),
+        },
+        "hottest_phase": hottest,
+        "hottest_phase_speedup": round(hottest_speedup, 2),
+        "end_to_end_speedup": round(end_to_end_speedup, 2),
+    }
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / "BENCH_sim.json").write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    )
+    print(
+        f"\nfast path: {payload['reference']['epochs_per_sec']} -> "
+        f"{payload['fast']['epochs_per_sec']} epochs/sec "
+        f"({end_to_end_speedup:.2f}x end to end, {hottest_speedup:.2f}x "
+        f"on hottest phase {hottest!r}, numpy={HAS_NUMPY})"
+    )
+    assert end_to_end_speedup >= MIN_END_TO_END_SPEEDUP, payload
+    assert hottest_speedup >= MIN_HOTTEST_PHASE_SPEEDUP, payload

@@ -92,16 +92,31 @@ class GuestKernel:
         cpus: int = 16,
         balloon: BalloonFrontend | None = None,
         swap: SwapDevice | None = None,
+        lru_factory: "type[SplitLru] | None" = None,
     ) -> None:
         if not nodes:
             raise AllocationError("guest needs at least one memory node")
+        make_lru = lru_factory if lru_factory is not None else SplitLru
         self.nodes = dict(nodes)
+        # The node topology is fixed for the kernel's lifetime (ballooning
+        # hides frames, it never adds or removes nodes), so the ordered
+        # id views consulted on every allocation are computed once.
+        self._fast_node_ids = sorted(
+            nid for nid, node in self.nodes.items() if node.is_fastmem
+        )
+        self._slow_node_ids = sorted(
+            (nid for nid, node in self.nodes.items() if not node.is_fastmem),
+            key=lambda nid: self.nodes[nid].tier.rank,
+        )
+        self._nodes_by_speed = sorted(
+            self.nodes, key=lambda nid: (self.nodes[nid].tier.rank, nid)
+        )
         self.cpus = cpus
         self.balloon = balloon
         self.swap = swap or SwapDevice(capacity_pages=pages_of_bytes(16 * GIB))
         self.percpu = PerCpuFreeLists(cpus, self.nodes)
         self.lru: dict[int, SplitLru] = {
-            node_id: SplitLru(node_id) for node_id in self.nodes
+            node_id: make_lru(node_id) for node_id in self.nodes
         }
         self.page_cache = PageCache()
         self.slab = SlabAllocator(self._slab_page_source, self._slab_page_release)
@@ -128,20 +143,15 @@ class GuestKernel:
 
     @property
     def fast_node_ids(self) -> list[int]:
-        return sorted(
-            (nid for nid, node in self.nodes.items() if node.is_fastmem)
-        )
+        return self._fast_node_ids
 
     @property
     def slow_node_ids(self) -> list[int]:
-        return sorted(
-            (nid for nid, node in self.nodes.items() if not node.is_fastmem),
-            key=lambda nid: self.nodes[nid].tier.rank,
-        )
+        return self._slow_node_ids
 
     def nodes_by_speed(self) -> list[int]:
         """All node ids, fastest tier first."""
-        return sorted(self.nodes, key=lambda nid: (self.nodes[nid].tier.rank, nid))
+        return self._nodes_by_speed
 
     def node_for_tier(self, tier: NodeTier) -> MemoryNode:
         for node in self.nodes.values():
@@ -670,6 +680,10 @@ class GuestKernel:
         if ids is not None:
             ids.insert(ids.index(extent.extent_id) + 1, sibling.extent_id)
         lru = self.lru[extent.node_id]
+        # A resident extent is always on its node's LRU; its page count
+        # just shrank in place, so LRUs with running counters must hear
+        # about it (no-op on the baseline lists).
+        lru.note_resized(extent, -rest_pages)
         lru.insert(sibling)
         if extent.state is ExtentState.INACTIVE:
             lru.deactivate(sibling)

@@ -68,6 +68,16 @@ class SplitLru:
             or extent.extent_id in self._inactive
         )
 
+    def note_resized(self, extent: PageExtent, delta_pages: int) -> None:
+        """Hook: ``extent.pages`` changed in place by ``delta_pages``
+        while the extent sits on this LRU (extent splits do this).
+
+        The baseline lists re-read ``extent.pages`` on every walk, so
+        there is nothing to update here; subclasses that keep running
+        page counters (``repro.sim.fast.FastSplitLru``) adjust them in
+        this hook.  Callers must invoke it *after* mutating the extent.
+        """
+
     # ------------------------------------------------------------------
     # State transitions
     # ------------------------------------------------------------------

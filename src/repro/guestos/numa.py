@@ -129,22 +129,34 @@ def build_node(
     tier: NodeTier,
     device: MemoryDevice,
     base_frame: int = 0,
+    buddy_factory=None,
+    node_cls: "type[MemoryNode] | None" = None,
 ) -> MemoryNode:
-    """Construct a node with the tier-appropriate zone layout."""
+    """Construct a node with the tier-appropriate zone layout.
+
+    ``buddy_factory``/``node_cls`` substitute the array-backed
+    allocator and node from ``repro.sim.fast``; the default layout and
+    zone arithmetic are identical either way.
+    """
     total_pages = pages_of_bytes(device.capacity_bytes)
     if total_pages <= 0:
         raise ConfigurationError(f"node {node_id}: device has no capacity")
-    node = MemoryNode(node_id=node_id, tier=tier, device=device)
+    make_node = node_cls if node_cls is not None else MemoryNode
+    node = make_node(node_id=node_id, tier=tier, device=device)
+
+    def _zone(kind: ZoneKind, base: int, frames: int) -> Zone:
+        return make_zone(kind, base, frames, buddy_factory=buddy_factory)
+
     if tier is NodeTier.FAST:
-        node.zones.append(make_zone(ZoneKind.UNIFIED, base_frame, total_pages))
+        node.zones.append(_zone(ZoneKind.UNIFIED, base_frame, total_pages))
         return node
     dma_pages = min(DMA_ZONE_BYTES // PAGE_SIZE, max(1, total_pages // 16))
     normal_pages = total_pages - dma_pages
     if normal_pages <= 0:
-        node.zones.append(make_zone(ZoneKind.NORMAL, base_frame, total_pages))
+        node.zones.append(_zone(ZoneKind.NORMAL, base_frame, total_pages))
         return node
-    node.zones.append(make_zone(ZoneKind.DMA, base_frame, dma_pages))
+    node.zones.append(_zone(ZoneKind.DMA, base_frame, dma_pages))
     node.zones.append(
-        make_zone(ZoneKind.NORMAL, base_frame + dma_pages, normal_pages)
+        _zone(ZoneKind.NORMAL, base_frame + dma_pages, normal_pages)
     )
     return node

@@ -28,6 +28,26 @@ class FrameRange:
                 f"invalid frame range start={self.start} count={self.count}"
             )
 
+    @classmethod
+    def unchecked(cls, start: int, count: Pages) -> "FrameRange":
+        """Construct without ``__post_init__`` validation.
+
+        Reserved for allocators whose own invariants already guarantee
+        ``start >= 0`` and ``count > 0`` (the buddy split arithmetic in
+        ``repro.sim.fast`` produces only such pairs); the frozen
+        dataclass ``__init__`` is a measurable share of the allocation
+        hot path, and this bypasses it while keeping the type and its
+        equality/hash semantics identical.
+        """
+        made = object.__new__(cls)
+        # Direct instance-dict writes: the frozen-dataclass __setattr__
+        # guard only needs bypassing at construction, and this is the
+        # cheapest bypass (no descriptor dispatch).
+        attrs = made.__dict__
+        attrs["start"] = start
+        attrs["count"] = count
+        return made
+
     @property
     def end(self) -> int:
         return self.start + self.count

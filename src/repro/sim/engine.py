@@ -58,8 +58,10 @@ _NO_PHASE = nullcontext()
 #: opaque/polymorphic call patterns on trust, each with its
 #: justification.  Phases whose ledger entry lists violations (demand,
 #: cache, policy) are impure by design — they mutate kernel/policy
-#: state through dynamic dispatch; the certified phases (timing,
-#: sample) are the candidates for the vectorized fast path.
+#: state through dynamic dispatch; that is where the array-backed fast
+#: path (``repro.sim.fast``, selected via ``SimConfig.fast_path`` /
+#: ``REPRO_FAST``) substitutes its structures.  The certified phases
+#: (timing, sample) are untouched by it and must stay certified.
 STEP_PHASES = {
     "demand": {
         "roots": [
@@ -132,6 +134,15 @@ def build_custom_vm(
     config = config or SimConfig()
     from repro.units import pages_of_bytes
 
+    node_builder = None
+    lru_factory = None
+    if config.resolved_fast_path():
+        # Imported lazily so the reference path never pays (or warns
+        # about) the optional numpy dependency.
+        from repro.sim.fast import FastSplitLru, fast_build_node
+
+        node_builder = fast_build_node
+        lru_factory = FastSplitLru
     reservations: dict[NodeTier, TierReservation] = {
         tier: TierReservation(
             pages_of_bytes(device.capacity_bytes),
@@ -143,6 +154,7 @@ def build_custom_vm(
         devices,
         sharing_policy=MaxMinSharing(),
         hotness_config=config.hotness_config,  # type: ignore[arg-type]
+        node_builder=node_builder,
     )
     domain = hypervisor.create_domain("vm0", reservations)
     nodes = hypervisor.build_guest_nodes(domain)
@@ -150,6 +162,7 @@ def build_custom_vm(
         nodes,
         cpus=config.cpus,
         balloon=hypervisor.make_balloon_frontend(domain),
+        lru_factory=lru_factory,
     )
     hypervisor.attach_kernel(domain, kernel)
     return hypervisor, domain, kernel
@@ -180,6 +193,16 @@ class SimulationEngine:
         self.cache = LastLevelCache(config.llc)
         self.timing = MemoryTimingModel(config.cpu)
         self.wear = WearTracker()
+        #: Array-backed demand accounting (repro.sim.fast); ``None``
+        #: keeps the reference implementation in ``_memory_demands``.
+        #: The two are pinned bit-identical by the differential oracle
+        #: (tests/test_fast_equivalence.py), so this never feeds a
+        #: cache key.
+        self._fast_demands = None
+        if config.resolved_fast_path():
+            from repro.sim.fast import fast_memory_demands
+
+            self._fast_demands = fast_memory_demands
         self.rng = random.Random(config.seed)
         self.record_timeseries = record_timeseries
         #: Frame-ownership shadow checker (SimConfig(sanitize=True)).
@@ -577,6 +600,8 @@ class SimulationEngine:
     def _memory_demands(
         self, demand: EpochDemand
     ) -> tuple[dict[MemoryDevice, DeviceDemand], float]:
+        if self._fast_demands is not None:
+            return self._fast_demands(self, demand)
         kernel = self.kernel
         region_accesses: list[RegionAccess] = []
         placements: dict[str, dict[MemoryDevice, float]] = {}

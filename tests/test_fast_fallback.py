@@ -1,0 +1,104 @@
+"""Graceful degradation when numpy is absent, and cache-key hygiene.
+
+``repro.sim.fast`` treats numpy as an optional accelerator (the
+``fast`` pyproject extra): when it cannot be imported the module must
+emit exactly one :class:`RuntimeWarning`, fall back to pure
+``bytearray`` operations, and still satisfy the bit-identity oracle.
+These tests simulate the numpy-less environment with an import hook so
+CI covers the fallback even though the container ships numpy.
+
+The second half pins the cache-key contract: ``fast_path`` must never
+reach an :class:`ExperimentSpec` or its canonical form, because the
+two paths are interchangeable for a cached result.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import importlib
+import sys
+import warnings
+
+import pytest
+
+from repro.sim.parallel import CACHE_KEY_EXCLUDED, ExperimentSpec, make_spec, run_spec
+
+FAST_MODULE = "repro.sim.fast"
+
+
+class _BlockNumpy:
+    """Meta-path finder that makes ``import numpy`` fail."""
+
+    def find_spec(self, name, path=None, target=None):
+        if name == "numpy" or name.startswith("numpy."):
+            raise ImportError("numpy blocked for fallback test")
+        return None
+
+
+@pytest.fixture
+def numpy_less_fast():
+    """Reimport ``repro.sim.fast`` with numpy unimportable.
+
+    Yields ``(module, caught_warnings)``; teardown restores the real
+    numpy-backed module for the rest of the session.
+    """
+    saved = {
+        name: module
+        for name, module in sys.modules.items()
+        if name == "numpy" or name.startswith("numpy.") or name == FAST_MODULE
+    }
+    for name in saved:
+        del sys.modules[name]
+    blocker = _BlockNumpy()
+    sys.meta_path.insert(0, blocker)
+    try:
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            module = importlib.import_module(FAST_MODULE)
+        yield module, caught
+    finally:
+        sys.meta_path.remove(blocker)
+        sys.modules.pop(FAST_MODULE, None)
+        sys.modules.update(saved)
+        importlib.import_module(FAST_MODULE)
+
+
+def test_fallback_warns_exactly_once(numpy_less_fast):
+    module, caught = numpy_less_fast
+    runtime_warnings = [w for w in caught if issubclass(w.category, RuntimeWarning)]
+    assert len(runtime_warnings) == 1
+    assert "numpy" in str(runtime_warnings[0].message)
+    assert module.HAS_NUMPY is False
+    assert module.FrameBitmap(64).view is None
+
+
+def test_fallback_results_are_bit_identical(numpy_less_fast):
+    module, _ = numpy_less_fast
+    assert module.HAS_NUMPY is False
+    # The engine imports repro.sim.fast lazily, so this run exercises
+    # the fallback module installed by the fixture.
+    spec = make_spec("redis", "hetero-lru", epochs=3, slow_gib=2.0)
+    reference = dataclasses.asdict(run_spec(spec, fast_path=False))
+    fallback = dataclasses.asdict(run_spec(spec, fast_path=True))
+    assert fallback == reference
+
+
+def test_restored_module_has_numpy_backend():
+    module = importlib.import_module(FAST_MODULE)
+    assert module.HAS_NUMPY is True
+    assert module.FrameBitmap(64).view is not None
+
+
+def test_fast_path_never_reaches_the_cache_key():
+    field_names = {field.name for field in dataclasses.fields(ExperimentSpec)}
+    assert "fast_path" not in field_names
+    spec = make_spec("redis", "hetero-lru", epochs=2, slow_gib=2.0)
+    assert "fast_path" not in spec.canonical()
+    assert "fast_path" in CACHE_KEY_EXCLUDED
+
+
+def test_both_paths_may_serve_the_same_spec():
+    spec = make_spec("redis", "hetero-lru", epochs=2, slow_gib=2.0)
+    via_fast = dataclasses.asdict(run_spec(spec, fast_path=True))
+    via_reference = dataclasses.asdict(run_spec(spec, fast_path=None))
+    assert via_fast == via_reference
