@@ -11,6 +11,10 @@ Usage::
     python -m repro sanitize-check           # frame-sanitizer smoke run
     python -m repro sweep --workers 4 --cache-dir .sweep-cache \
         --apps graphchi redis --policies hetero-lru heap-od
+    python -m repro sweep --live --metrics sweep.metrics.json \
+        --trace-sweep sweep.trace.json   # flight-recorder artifacts
+    python -m repro report --cache-dir .sweep-cache \
+        --metrics sweep.metrics.json     # post-hoc sweep summary
 
 The ``figure`` subcommand accepts ``table1 table3 table4 table5 table6
 fig1 fig2 fig3 fig4 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13`` or
@@ -464,7 +468,30 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         )
         return 1
 
+    recorder = None
+    if args.metrics or args.trace_sweep or args.live:
+        from repro.obs.flight import SweepRecorder
+
+        recorder = SweepRecorder()
+
+    # --live needs a TTY to repaint in place; without one it degrades
+    # to the normal per-spec progress lines (still recorded).
+    live = args.live and sys.stderr.isatty()
+    live_lines = 0
+
     def progress(outcome, done, total):
+        nonlocal live_lines
+        if live and recorder is not None:
+            from repro.obs.flight import format_live_status
+
+            screen = format_live_status(recorder.status())
+            if live_lines:
+                # Cursor up over the previous frame, then clear it.
+                sys.stderr.write(f"\x1b[{live_lines}F\x1b[J")
+            sys.stderr.write(screen + "\n")
+            sys.stderr.flush()
+            live_lines = screen.count("\n") + 1
+            return
         status = (
             "ok" if outcome.ok else f"{outcome.error.kind}!"
         )
@@ -474,6 +501,9 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
 
+    want_progress = not args.quiet or live
+    exit_code = 0
+    rows = None
     try:
         rows = sweep(
             apps=tuple(args.apps) if args.apps else tuple(available_workloads()),
@@ -483,14 +513,37 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             max_workers=args.workers,
             cache=cache,
             timeout_sec=args.timeout,
-            progress=progress if not args.quiet else None,
+            progress=progress if want_progress else None,
             retries=args.retries,
             retry_backoff_sec=args.retry_backoff,
             journal=journal,
+            recorder=recorder,
         )
     except SweepError as exc:
         print(f"repro sweep: {exc}", file=sys.stderr)
-        return 1
+        exit_code = 1
+    finally:
+        # Flight-recorder artifacts survive a failed sweep — that is
+        # when they are most useful.
+        if recorder is not None:
+            if args.metrics:
+                recorder.write_metrics(args.metrics)
+            if args.trace_sweep:
+                recorder.write_chrome_trace(args.trace_sweep)
+    if recorder is not None and not args.quiet:
+        from repro.obs.flight import format_live_status
+
+        print(format_live_status(recorder.status()), file=sys.stderr)
+        if args.metrics:
+            print(f"metrics      : {args.metrics}", file=sys.stderr)
+        if args.trace_sweep:
+            print(
+                f"sweep trace  : {args.trace_sweep}  "
+                "(open in ui.perfetto.dev)",
+                file=sys.stderr,
+            )
+    if exit_code != 0:
+        return exit_code
     if cache is not None and not args.quiet:
         print(
             f"cache: {cache.hits} hit(s), {cache.misses} miss(es) "
@@ -498,6 +551,95 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
     print(report.format_table(rows, title="sweep"))
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    import json as json_module
+
+    from repro.obs.flight import reconstruct_report
+    from repro.sim import parallel
+
+    journal_path = args.journal
+    if journal_path is None:
+        cache_dir = args.cache_dir or os.environ.get(parallel.CACHE_DIR_ENV)
+        if not cache_dir:
+            print(
+                "repro report: give --journal PATH or a cache directory "
+                "(--cache-dir / $REPRO_SWEEP_CACHE_DIR) that holds "
+                "sweep-journal.jsonl",
+                file=sys.stderr,
+            )
+            return 2
+        journal_path = os.path.join(cache_dir, "sweep-journal.jsonl")
+    if not os.path.exists(journal_path):
+        print(
+            f"repro report: no journal at {journal_path} "
+            "(run a sweep with a cache directory first)",
+            file=sys.stderr,
+        )
+        return 1
+    journal = parallel.SweepJournal(journal_path)
+    entries = journal.load()
+    metrics_snapshot = None
+    if args.metrics:
+        try:
+            with open(args.metrics, "r", encoding="utf-8") as handle:
+                metrics_snapshot = json_module.load(handle)
+        except (OSError, ValueError) as exc:
+            print(
+                f"repro report: cannot read metrics snapshot "
+                f"{args.metrics}: {exc}",
+                file=sys.stderr,
+            )
+            return 1
+    summary = reconstruct_report(entries, metrics_snapshot)
+    if args.format == "json":
+        print(json_module.dumps(summary, indent=2, sort_keys=True))
+        return 0
+    print(f"sweep report ({journal_path})")
+    statuses = summary["statuses"]
+    rendered = ", ".join(f"{k}={v}" for k, v in statuses.items()) or "none"
+    print(f"  specs    : {summary['specs']} ({rendered})")
+    if summary["sources"]:
+        rendered = ", ".join(
+            f"{k}={v}" for k, v in summary["sources"].items()
+        )
+        print(f"  sources  : {rendered}")
+    if summary["failures_by_kind"]:
+        rendered = ", ".join(
+            f"{k}={v}" for k, v in summary["failures_by_kind"].items()
+        )
+        print(f"  failures : {rendered}")
+    print(f"  executed : {summary['executed_wall_sec']:.2f}s host wall-clock")
+    if journal.corrupt_lines_skipped:
+        print(
+            f"  journal  : {journal.corrupt_lines_skipped} corrupt "
+            "line(s) skipped"
+        )
+    if summary["slowest"]:
+        print("  slowest  :")
+        for item in summary["slowest"]:
+            print(f"    {item['elapsed_sec']:8.2f}s  {item['label']}")
+    cache_summary = summary.get("cache")
+    if cache_summary:
+        hit_rate = cache_summary.get("hit_rate")
+        rate_text = (
+            f"{hit_rate * 100:.1f}%" if hit_rate is not None else "n/a"
+        )
+        print(
+            f"  cache    : {cache_summary.get('hits')} hit(s), "
+            f"{cache_summary.get('misses')} miss(es), "
+            f"hit rate {rate_text}, "
+            f"{cache_summary.get('evictions')} eviction(s), "
+            f"{cache_summary.get('store_failures')} store failure(s)"
+        )
+    if summary.get("journal_corrupt_lines"):
+        print(
+            "  corrupt  : "
+            f"{summary['journal_corrupt_lines']:.0f} journal line(s) "
+            "skipped during the recorded sweep"
+        )
     return 0
 
 
@@ -736,7 +878,51 @@ def build_parser() -> argparse.ArgumentParser:
         "the cache directory): cached and journaled grid points are "
         "not re-run; requires a result cache",
     )
+    sweep_parser.add_argument(
+        "--metrics", default=None, metavar="PATH",
+        help="write the sweep flight-recorder metrics snapshot here "
+        "(.prom selects Prometheus text exposition, anything else "
+        "canonical JSON); written even when the sweep fails",
+    )
+    sweep_parser.add_argument(
+        "--trace-sweep", default=None, metavar="PATH",
+        help="write a sweep-level Chrome trace (per-spec spans on "
+        "worker lanes, cache/retry instants) viewable in "
+        "ui.perfetto.dev; merge with per-run `repro trace` files via "
+        "repro.obs.merge_traces",
+    )
+    sweep_parser.add_argument(
+        "--live", action="store_true",
+        help="render a refreshing one-screen status (progress, hit "
+        "rate, ETA, failures) on stderr instead of per-spec lines; "
+        "needs a TTY, degrades to plain progress otherwise",
+    )
     sweep_parser.set_defaults(func=cmd_sweep)
+
+    report_parser = sub.add_parser(
+        "report",
+        help="reconstruct a sweep summary post-hoc from its journal "
+        "(plus an optional --metrics snapshot)",
+    )
+    report_parser.add_argument(
+        "--journal", default=None, metavar="PATH",
+        help="sweep journal JSONL (default: sweep-journal.jsonl in the "
+        "cache directory)",
+    )
+    report_parser.add_argument(
+        "--cache-dir", default=None,
+        help="cache directory holding the journal (default: "
+        "$REPRO_SWEEP_CACHE_DIR)",
+    )
+    report_parser.add_argument(
+        "--metrics", default=None, metavar="PATH",
+        help="metrics JSON snapshot from `repro sweep --metrics` to "
+        "fold cache/retry counters into the report",
+    )
+    report_parser.add_argument(
+        "--format", choices=("human", "json"), default="human"
+    )
+    report_parser.set_defaults(func=cmd_report)
     return parser
 
 

@@ -811,6 +811,84 @@ class NumpyImportRule(Rule):
                     )
 
 
+#: Modules that may import the host-metrics plane.  The sweep recorder
+#: observes the harness (``sim/parallel.py`` hooks, ``cli.py``
+#: rendering); letting simulation or policy code import it would open a
+#: hole in the no-perturbation contract (metrics feeding results).
+_METRICS_ALLOWED_SUFFIXES = ("sim/parallel.py", "cli.py")
+_METRICS_MODULES = ("repro.obs.metrics", "repro.obs.flight")
+_METRICS_NAMES = frozenset(
+    {
+        "Counter",
+        "Gauge",
+        "Histogram",
+        "MetricsRegistry",
+        "SweepRecorder",
+        "snapshot_delta",
+    }
+)
+
+
+@register
+class MetricsConfinementRule(Rule):
+    """Host metrics stay confined to the observability plane plus the
+    two harness modules that feed/render them (``sim/parallel.py``,
+    ``cli.py``).  A simulator or policy module importing the metrics
+    registry is one step from steering results with observations —
+    the exact hole the ``contract-obs-pure`` no-perturbation contract
+    exists to close."""
+
+    rule_id = "metrics-confinement"
+    rationale = (
+        "the sweep metrics registry and flight recorder are harness "
+        "observation only; importing them outside obs/, sim/parallel.py "
+        "or cli.py risks observation steering simulation results"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        relpath = ctx.relpath.replace("\\", "/")
+        if (
+            "/obs/" in relpath
+            or relpath.startswith("obs/")
+            or relpath.endswith(_METRICS_ALLOWED_SUFFIXES)
+        ):
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name in _METRICS_MODULES:
+                        yield self.finding(
+                            ctx, node,
+                            f"{alias.name} imported outside the "
+                            "observability plane; metrics are harness "
+                            "observation (allowed: obs/, sim/parallel.py, "
+                            "cli.py)",
+                        )
+                        break
+            elif isinstance(node, ast.ImportFrom) and node.module is not None:
+                if node.module in _METRICS_MODULES:
+                    yield self.finding(
+                        ctx, node,
+                        f"{node.module} imported outside the observability "
+                        "plane; metrics are harness observation (allowed: "
+                        "obs/, sim/parallel.py, cli.py)",
+                    )
+                elif node.module == "repro.obs":
+                    confined = sorted(
+                        alias.name
+                        for alias in node.names
+                        if alias.name in _METRICS_NAMES
+                    )
+                    if confined:
+                        yield self.finding(
+                            ctx, node,
+                            f"{', '.join(confined)} imported outside the "
+                            "observability plane; metrics are harness "
+                            "observation (allowed: obs/, sim/parallel.py, "
+                            "cli.py)",
+                        )
+
+
 # ----------------------------------------------------------------------
 # Runner
 # ----------------------------------------------------------------------

@@ -134,15 +134,16 @@ def sweep(
     retries: int = 0,
     retry_backoff_sec: float = 0.5,
     journal: "SweepJournal | str | None" = None,
+    recorder: "SweepRecorder | None" = None,
 ) -> list[dict]:
     """Run the full grid; each row carries runtime, metric, and gain
     over the same-platform baseline.
 
     ``max_workers``/``cache``/``timeout_sec``/``progress``/``retries``/
-    ``retry_backoff_sec``/``journal`` pass through to
+    ``retry_backoff_sec``/``journal``/``recorder`` pass through to
     :func:`repro.sim.parallel.run_specs`; the defaults (serial, no
-    cache, no retry, no journal) reproduce the historical behaviour
-    exactly.  Any failed grid point raises
+    cache, no retry, no journal, no recorder) reproduce the historical
+    behaviour exactly.  Any failed grid point raises
     :class:`~repro.errors.SweepError` with the structured per-spec
     failures in its message.
     """
@@ -158,6 +159,7 @@ def sweep(
         retries=retries,
         retry_backoff_sec=retry_backoff_sec,
         journal=journal,
+        recorder=recorder,
     )
     results = iter(results_or_raise(outcomes))
     rows = []

@@ -41,6 +41,7 @@ __all__ = [
     "FaultInjector",
     "FaultPlan",
     "FaultSpec",
+    "merge_fault_counts",
 ]
 
 #: Every fault kind the simulator knows how to inject.
@@ -222,6 +223,21 @@ class FaultPlan:
             seed=int(data.get("seed", 0)),
             faults=tuple(FaultSpec.from_dict(item) for item in raw_faults),
         )
+
+
+def merge_fault_counts(
+    into: "dict[str, int]", counts: "dict[str, int]"
+) -> "dict[str, int]":
+    """Accumulate per-kind fault counts into ``into`` (returned).
+
+    The roll-up primitive behind sweep-level fault accounting: each
+    ``RunResult.fault_counts`` mapping folds into a sweep-wide total,
+    kind by kind.  Unknown kinds are accepted (a newer worker may know
+    kinds this process does not) — accounting must never drop data.
+    """
+    for kind, count in counts.items():
+        into[str(kind)] = into.get(str(kind), 0) + int(count)
+    return into
 
 
 def _stream_seed(plan_seed: int, kind: str) -> int:

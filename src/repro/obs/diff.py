@@ -8,6 +8,7 @@ the root-causing workflow behind ``repro timeline --diff``.
 from __future__ import annotations
 
 import json
+import warnings
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import List, Optional, Tuple, Union
@@ -22,30 +23,48 @@ def load_timeline(
     """Parse a JSONL timeline into ``(header, samples, summary)``.
 
     Unknown line types are ignored (forward compatibility); a missing
-    header or summary comes back as ``{}``.
+    header or summary comes back as ``{}``.  A corrupt *final* line —
+    the signature of a crash/kill mid-append truncating the file — is
+    dropped with a warning so a flight-recorder timeline from a dead
+    run stays loadable; corruption anywhere else still raises (that is
+    a damaged file, not a torn write).
     """
     header: dict = {}
     summary: dict = {}
     samples: List[EpochSample] = []
     path = Path(path)
     with path.open("r", encoding="utf-8") as fh:
-        for lineno, line in enumerate(fh, start=1):
-            line = line.strip()
-            if not line:
-                continue
-            try:
-                record = json.loads(line)
-            except ValueError as exc:
-                raise ObservabilityError(
-                    f"{path}:{lineno}: not valid JSON: {exc}"
-                ) from exc
-            kind = record.get("type")
-            if kind == "header":
-                header = {k: v for k, v in record.items() if k != "type"}
-            elif kind == "summary":
-                summary = {k: v for k, v in record.items() if k != "type"}
-            elif kind == "sample":
-                samples.append(EpochSample.from_dict(record))
+        lines = fh.readlines()
+    last_lineno = 0
+    for lineno in range(len(lines), 0, -1):
+        if lines[lineno - 1].strip():
+            last_lineno = lineno
+            break
+    for lineno, line in enumerate(lines, start=1):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except ValueError as exc:
+            if lineno == last_lineno:
+                warnings.warn(
+                    f"{path}:{lineno}: dropping truncated trailing line "
+                    f"(crash mid-append?): {exc}",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+                break
+            raise ObservabilityError(
+                f"{path}:{lineno}: not valid JSON: {exc}"
+            ) from exc
+        kind = record.get("type")
+        if kind == "header":
+            header = {k: v for k, v in record.items() if k != "type"}
+        elif kind == "summary":
+            summary = {k: v for k, v in record.items() if k != "type"}
+        elif kind == "sample":
+            samples.append(EpochSample.from_dict(record))
     return header, samples, summary
 
 

@@ -1,0 +1,630 @@
+# heterolint: disable-file=unseeded-random
+"""Sweep flight recorder: host-side observability for ``run_specs``.
+
+PR 4 made a single run observable; this module makes the *sweep* — the
+scheduler, the result cache, the retry/journal machinery — observable.
+:class:`SweepRecorder` is the passive listener ``run_specs`` notifies
+(cache hit/miss, journal reuse, per-spec outcome, retry), accumulating:
+
+* a :class:`~repro.obs.metrics.MetricsRegistry` of sweep metrics
+  (``sweep_specs_total``, ``sweep_cache_lookups_total``,
+  ``sweep_spec_seconds`` histograms, queue-depth gauges, fault-count
+  roll-ups), written as canonical JSON or Prometheus text via
+  :meth:`SweepRecorder.write_metrics`;
+* per-spec host wall-clock *spans* rendered as worker lanes in a Chrome
+  ``trace_event`` file (:meth:`SweepRecorder.write_chrome_trace`, pid
+  :data:`SWEEP_PID`), composable with PR 4's per-run traces through
+  :func:`merge_traces` into one Perfetto view;
+* a live one-screen status (:meth:`SweepRecorder.status` +
+  :func:`format_live_status`) behind ``repro sweep --live``, and the
+  post-hoc reconstruction behind ``repro report``
+  (:func:`reconstruct_report`).
+
+``time.perf_counter`` here is host-side measurement only — it never
+feeds a simulated quantity, hence the ``unseeded-random`` file waiver
+(same rationale as :mod:`repro.obs.profiler`).
+
+Hard contract (mirrors PR 4's no-perturbation rule): the recorder
+observes, never steers.  It is not a ``run_spec`` parameter, never
+crosses into worker processes, and never enters cache keys —
+``tests/test_sweep_recorder.py`` pins recorder-on ``run_specs`` results
+field-by-field identical to recorder-off.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.errors import ObservabilityError
+from repro.faults import merge_fault_counts
+from repro.obs.metrics import MetricsRegistry
+
+__all__ = [
+    "SWEEP_PID",
+    "SweepRecorder",
+    "format_live_status",
+    "merge_traces",
+    "reconstruct_report",
+]
+
+#: Chrome-trace process id for the sweep scheduler's worker lanes.
+#: PR 4's per-run traces use pid 0 (virtual time) and pid 1 (host
+#: profiler); the sweep view claims the next slot so the three compose
+#: in one Perfetto session without colliding.
+SWEEP_PID = 2
+
+#: Outcome statuses a spec can finish with (journal + metrics label).
+_STATUSES = ("ok", "failed")
+
+
+def _now() -> float:
+    """Host wall-clock seconds; harness telemetry, never virtual time."""
+    return time.perf_counter()
+
+
+class SweepRecorder:
+    """Accumulates sweep-execution telemetry from ``run_specs`` hooks.
+
+    Purely observational: every hook only mutates recorder-owned state,
+    so attaching one cannot change a single result bit.  One recorder
+    instance covers one sweep (reuse across sweeps keeps accumulating,
+    like a Prometheus process registry).
+    """
+
+    def __init__(self, registry: "MetricsRegistry | None" = None) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._t0 = _now()
+        self.total = 0
+        self.distinct = 0
+        self.max_workers = 1
+        self.done = 0
+        self.ok = 0
+        self.failed = 0
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.retries = 0
+        self.failures_by_kind: "Dict[str, int]" = {}
+        self.fault_counts: "Dict[str, int]" = {}
+        #: (label, start_sec, end_sec, source, status) per executed spec.
+        self._spans: "List[Tuple[str, float, float, str, str]]" = []
+        #: (name, ts_sec, args) instant events (cache hits, retries).
+        self._instants: "List[Tuple[str, float, dict]]" = []
+        self._cache_baseline: "Dict[str, int]" = {}
+        reg = self.registry
+        self._m_specs = reg.counter(
+            "sweep_specs_total",
+            "Grid points finished, by outcome status.",
+            labels=("status",),
+        )
+        self._m_sources = reg.counter(
+            "sweep_spec_results_total",
+            "Distinct spec resolutions, by result source.",
+            labels=("source",),
+        )
+        self._m_lookups = reg.counter(
+            "sweep_cache_lookups_total",
+            "Result-cache lookups, by result.",
+            labels=("result",),
+        )
+        self._m_evictions = reg.counter(
+            "sweep_cache_evictions_total",
+            "Invalid result-cache entries evicted during lookups.",
+        )
+        self._m_store_failures = reg.counter(
+            "sweep_cache_store_failures_total",
+            "Result-cache writes that failed (results not persisting).",
+        )
+        self._m_retries = reg.counter(
+            "sweep_retries_total",
+            "Transient-failure retries, by failure kind.",
+            labels=("kind",),
+        )
+        self._m_failures = reg.counter(
+            "sweep_failures_total",
+            "Final per-spec failures, by kind.",
+            labels=("kind",),
+        )
+        self._m_journal_reused = reg.counter(
+            "sweep_journal_reused_total",
+            "Journaled deterministic failures reused without re-running.",
+        )
+        self._m_journal_corrupt = reg.counter(
+            "sweep_journal_corrupt_lines_total",
+            "Corrupt journal lines skipped while loading (torn writes).",
+        )
+        self._m_dedup = reg.counter(
+            "sweep_specs_deduped_total",
+            "Duplicate grid points folded into one execution.",
+        )
+        self._m_faults = reg.counter(
+            "sweep_fault_events_total",
+            "Injected-fault firings rolled up across results, by kind.",
+            labels=("kind",),
+        )
+        self._m_seconds = reg.histogram(
+            "sweep_spec_seconds",
+            "Host wall-clock seconds per executed spec, by source.",
+            labels=("source",),
+        )
+        self._g_queue = reg.gauge(
+            "sweep_queue_depth", "Grid points not yet finished."
+        )
+        self._g_inflight = reg.gauge(
+            "sweep_in_flight_workers",
+            "Upper-bound estimate of busy workers "
+            "(min of pool size and queue depth).",
+        )
+        self._g_workers = reg.gauge(
+            "sweep_max_workers", "Worker-pool size for this sweep."
+        )
+
+    # ------------------------------------------------------------------
+    # Hooks called by run_specs (all observation, no steering)
+    # ------------------------------------------------------------------
+
+    def sweep_started(
+        self,
+        total: int,
+        distinct: int,
+        max_workers: int,
+        cache: "object | None" = None,
+    ) -> None:
+        """The grid is known: sizes, dedup factor, pool width."""
+        self._t0 = _now()
+        self.total = total
+        self.distinct = distinct
+        self.max_workers = max_workers
+        self._m_dedup.inc(total - distinct)
+        self._g_workers.set(max_workers)
+        self._update_depth()
+        if cache is not None:
+            # Caches may be shared across sweeps; remember the baseline
+            # so sweep_finished() attributes only this sweep's deltas.
+            self._cache_baseline = {
+                "evictions": getattr(cache, "evictions", 0),
+                "store_failures": getattr(cache, "store_failures", 0),
+            }
+
+    def cache_hit(self, label: str) -> None:
+        self.cache_hits += 1
+        self._m_lookups.inc(result="hit")
+        self._instants.append(
+            ("cache-hit", _now() - self._t0, {"spec": label})
+        )
+
+    def cache_miss(self, label: str) -> None:
+        self.cache_misses += 1
+        self._m_lookups.inc(result="miss")
+
+    def journal_reused(self, label: str) -> None:
+        self._m_journal_reused.inc()
+        self._instants.append(
+            ("journal-reuse", _now() - self._t0, {"spec": label})
+        )
+
+    def journal_corrupt_lines(self, count: int) -> None:
+        if count > 0:
+            self._m_journal_corrupt.inc(count)
+
+    def retry(self, label: str, kind: str, attempt: int) -> None:
+        self.retries += 1
+        self._m_retries.inc(kind=kind)
+        self._instants.append(
+            (
+                "retry",
+                _now() - self._t0,
+                {"spec": label, "kind": kind, "attempt": attempt},
+            )
+        )
+
+    def outcome(
+        self,
+        label: str,
+        source: str,
+        status: str,
+        elapsed_sec: float,
+        fault_counts: "Mapping[str, int] | None" = None,
+        failure_kind: "str | None" = None,
+        copies: int = 1,
+    ) -> None:
+        """One distinct spec finished (``copies`` counts its dedup'd
+        duplicates so totals match the input grid)."""
+        if status not in _STATUSES:
+            raise ObservabilityError(
+                f"unknown outcome status {status!r}; expected {_STATUSES}"
+            )
+        end = _now() - self._t0
+        self.done += copies
+        if status == "ok":
+            self.ok += copies
+        else:
+            self.failed += copies
+            if failure_kind:
+                self.failures_by_kind[failure_kind] = (
+                    self.failures_by_kind.get(failure_kind, 0) + copies
+                )
+                self._m_failures.inc(copies, kind=failure_kind)
+        self._m_specs.inc(copies, status=status)
+        self._m_sources.inc(source=source)
+        self._m_seconds.observe(elapsed_sec, source=source)
+        if fault_counts:
+            merge_fault_counts(self.fault_counts, fault_counts)
+            for kind, count in fault_counts.items():
+                self._m_faults.inc(count, kind=str(kind))
+        if elapsed_sec > 0:
+            self._spans.append(
+                (label, end - elapsed_sec, end, source, status)
+            )
+        self._update_depth()
+
+    def sweep_finished(self, cache: "object | None" = None) -> None:
+        """The sweep returned; fold in cache-side counters."""
+        if cache is not None:
+            baseline = self._cache_baseline
+            self._m_evictions.inc(
+                max(
+                    0,
+                    getattr(cache, "evictions", 0)
+                    - baseline.get("evictions", 0),
+                )
+            )
+            self._m_store_failures.inc(
+                max(
+                    0,
+                    getattr(cache, "store_failures", 0)
+                    - baseline.get("store_failures", 0),
+                )
+            )
+        self._g_inflight.set(0)
+
+    def _update_depth(self) -> None:
+        depth = max(0, self.total - self.done)
+        self._g_queue.set(depth)
+        self._g_inflight.set(min(self.max_workers, depth))
+
+    # ------------------------------------------------------------------
+    # Views
+    # ------------------------------------------------------------------
+
+    @property
+    def elapsed_sec(self) -> float:
+        return _now() - self._t0
+
+    def status(self) -> dict:
+        """One-screen live snapshot: progress, hit rate, ETA, failures.
+
+        The ETA extrapolates mean wall-clock per *finished* spec over
+        the remaining queue — a coarse estimate that converges as the
+        sweep proceeds (and is ``None`` until anything finishes).
+        """
+        elapsed = self.elapsed_sec
+        remaining = max(0, self.total - self.done)
+        eta: "Optional[float]" = None
+        if self.done > 0 and remaining > 0:
+            eta = elapsed * remaining / self.done
+        lookups = self.cache_hits + self.cache_misses
+        return {
+            "total": self.total,
+            "distinct": self.distinct,
+            "done": self.done,
+            "ok": self.ok,
+            "failed": self.failed,
+            "queue_depth": remaining,
+            "in_flight": min(self.max_workers, remaining),
+            "max_workers": self.max_workers,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "hit_rate": (self.cache_hits / lookups) if lookups else None,
+            "retries": self.retries,
+            "failures_by_kind": dict(sorted(self.failures_by_kind.items())),
+            "fault_counts": dict(sorted(self.fault_counts.items())),
+            "elapsed_sec": elapsed,
+            "eta_sec": eta,
+        }
+
+    # ------------------------------------------------------------------
+    # Artifacts
+    # ------------------------------------------------------------------
+
+    def write_metrics(self, path: "str | Path") -> Path:
+        """Write the registry snapshot: ``*.prom`` selects Prometheus
+        text exposition, anything else canonical JSON."""
+        path = Path(path)
+        if path.suffix == ".prom":
+            payload = self.registry.to_prometheus()
+        else:
+            payload = self.registry.to_json() + "\n"
+        path.write_text(payload, encoding="utf-8")
+        return path
+
+    def trace_events(self) -> "List[dict]":
+        """Chrome ``trace_event`` list: spec spans on greedily-packed
+        worker lanes (pid :data:`SWEEP_PID`), cache/retry instants on
+        lane 0, and a ``specs done`` counter track."""
+        events: "List[dict]" = [
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": SWEEP_PID,
+                "tid": 0,
+                "args": {"name": "sweep scheduler (host wall-clock)"},
+            }
+        ]
+        # Greedy lane packing: spans sorted by start, each placed on the
+        # first lane free at its start time.  Lane count approximates
+        # observed worker concurrency from the parent's vantage.
+        lane_free: "List[float]" = []
+        done_track = 0
+        ordered = sorted(self._spans, key=lambda span: (span[1], span[2]))
+        for label, start, end, source, status in ordered:
+            lane = None
+            for i, free_at in enumerate(lane_free):
+                if free_at <= start:
+                    lane = i
+                    break
+            if lane is None:
+                lane = len(lane_free)
+                lane_free.append(0.0)
+                events.append(
+                    {
+                        "name": "thread_name",
+                        "ph": "M",
+                        "pid": SWEEP_PID,
+                        "tid": lane + 1,
+                        "args": {"name": f"worker lane {lane}"},
+                    }
+                )
+            lane_free[lane] = end
+            events.append(
+                {
+                    "name": label,
+                    "cat": "spec",
+                    "ph": "X",
+                    "pid": SWEEP_PID,
+                    "tid": lane + 1,
+                    "ts": start * 1e6,
+                    "dur": (end - start) * 1e6,
+                    "args": {"source": source, "status": status},
+                }
+            )
+            done_track += 1
+            events.append(
+                {
+                    "name": "specs done",
+                    "ph": "C",
+                    "pid": SWEEP_PID,
+                    "tid": 0,
+                    "ts": end * 1e6,
+                    "args": {"done": done_track},
+                }
+            )
+        for name, ts, args in self._instants:
+            events.append(
+                {
+                    "name": name,
+                    "cat": "sweep",
+                    "ph": "i",
+                    "s": "p",
+                    "pid": SWEEP_PID,
+                    "tid": 0,
+                    "ts": ts * 1e6,
+                    "args": dict(args),
+                }
+            )
+        return events
+
+    def write_chrome_trace(self, path: "str | Path") -> Path:
+        path = Path(path)
+        payload = {
+            "traceEvents": self.trace_events(),
+            "displayTimeUnit": "ms",
+        }
+        with path.open("w", encoding="utf-8") as fh:
+            json.dump(payload, fh, sort_keys=True)
+            fh.write("\n")
+        return path
+
+
+# ----------------------------------------------------------------------
+# Composition + rendering helpers (host-side, CLI-facing)
+# ----------------------------------------------------------------------
+
+
+def _load_trace_events(path: Path) -> "List[dict]":
+    try:
+        with path.open("r", encoding="utf-8") as fh:
+            payload = json.load(fh)
+    except (OSError, ValueError) as exc:
+        raise ObservabilityError(
+            f"{path}: not a readable trace: {exc}"
+        ) from exc
+    events = payload.get("traceEvents") if isinstance(payload, dict) else payload
+    if not isinstance(events, list):
+        raise ObservabilityError(
+            f"{path}: expected a trace_event JSON object or array"
+        )
+    return [event for event in events if isinstance(event, dict)]
+
+
+def merge_traces(
+    paths: "Sequence[str | Path]", out: "str | Path"
+) -> Path:
+    """Merge Chrome traces into one Perfetto-loadable file.
+
+    Each input keeps its internal pid layout but is shifted into its own
+    pid range (0, stride, 2*stride, ...), so a sweep trace (pid 2) and
+    several per-run traces (pids 0/1 each) land side by side instead of
+    colliding.  The stride is the largest pid across all inputs plus
+    one, so the remap is collision-free and deterministic.
+    """
+    loaded = [_load_trace_events(Path(p)) for p in paths]
+    max_pid = 0
+    for events in loaded:
+        for event in events:
+            pid = event.get("pid")
+            if isinstance(pid, int) and pid > max_pid:
+                max_pid = pid
+    stride = max_pid + 1
+    merged: "List[dict]" = []
+    for index, events in enumerate(loaded):
+        offset = index * stride
+        for event in events:
+            shifted = dict(event)
+            if isinstance(shifted.get("pid"), int):
+                shifted["pid"] = shifted["pid"] + offset
+            merged.append(shifted)
+    out = Path(out)
+    payload = {"traceEvents": merged, "displayTimeUnit": "ms"}
+    with out.open("w", encoding="utf-8") as fh:
+        json.dump(payload, fh, sort_keys=True)
+        fh.write("\n")
+    return out
+
+
+def _fmt_duration(seconds: "float | None") -> str:
+    if seconds is None:
+        return "--:--"
+    whole = int(seconds)
+    if whole >= 3600:
+        return f"{whole // 3600}:{whole % 3600 // 60:02d}:{whole % 60:02d}"
+    return f"{whole // 60}:{whole % 60:02d}"
+
+
+def format_live_status(status: dict, width: int = 40) -> str:
+    """Render :meth:`SweepRecorder.status` as a one-screen string.
+
+    Pure formatting (the CLI owns the actual printing/refreshing), so
+    it is unit-testable and the obs layer never prints.
+    """
+    total = max(1, status.get("total", 0))
+    done = status.get("done", 0)
+    filled = int(width * min(1.0, done / total))
+    bar = "#" * filled + "-" * (width - filled)
+    hit_rate = status.get("hit_rate")
+    hit_text = f"{hit_rate * 100:5.1f}%" if hit_rate is not None else "  n/a"
+    lines = [
+        f"sweep [{bar}] {done}/{status.get('total', 0)} "
+        f"({status.get('distinct', 0)} distinct)",
+        (
+            f"  ok {status.get('ok', 0)}  failed {status.get('failed', 0)}"
+            f"  retries {status.get('retries', 0)}"
+            f"  workers {status.get('in_flight', 0)}"
+            f"/{status.get('max_workers', 0)}"
+        ),
+        (
+            f"  cache hit rate {hit_text}"
+            f"  ({status.get('cache_hits', 0)} hit"
+            f" / {status.get('cache_misses', 0)} miss)"
+        ),
+        (
+            f"  elapsed {_fmt_duration(status.get('elapsed_sec'))}"
+            f"  eta {_fmt_duration(status.get('eta_sec'))}"
+        ),
+    ]
+    failures = status.get("failures_by_kind") or {}
+    if failures:
+        rendered = ", ".join(
+            f"{kind}={count}" for kind, count in failures.items()
+        )
+        lines.append(f"  failures: {rendered}")
+    faults = status.get("fault_counts") or {}
+    if faults:
+        rendered = ", ".join(
+            f"{kind}={count}" for kind, count in faults.items()
+        )
+        lines.append(f"  faults: {rendered}")
+    return "\n".join(lines)
+
+
+def _metric_value(
+    snapshot: "dict | None", name: str, **labels: str
+) -> "float | None":
+    """Pull one series value out of a registry snapshot.
+
+    ``None`` means the metric itself is absent (older snapshot); a
+    registered metric whose labeled series never fired reads as 0.
+    """
+    if not snapshot:
+        return None
+    metric = snapshot.get("metrics", {}).get(name)
+    if not metric:
+        return None
+    for entry in metric.get("series", []):
+        if entry.get("labels", {}) == labels:
+            return entry.get("value")
+    return 0
+
+
+def reconstruct_report(
+    journal_entries: "Mapping[str, dict]",
+    metrics_snapshot: "dict | None" = None,
+) -> dict:
+    """Rebuild a sweep summary post-hoc from journal + metrics files.
+
+    The journal holds per-spec dispositions (one entry per distinct
+    cache key, last write wins); the optional metrics snapshot restores
+    the counters the journal cannot carry (cache hit/miss, retries,
+    evictions).  This is the ``repro report`` data source — the same
+    numbers ``--live`` showed, recoverable after the process is gone.
+    """
+    statuses: "Dict[str, int]" = {}
+    kinds: "Dict[str, int]" = {}
+    total_elapsed = 0.0
+    sources: "Dict[str, int]" = {}
+    slowest: "List[Tuple[float, str]]" = []
+    for entry in journal_entries.values():
+        status = str(entry.get("status", "unknown"))
+        statuses[status] = statuses.get(status, 0) + 1
+        kind = entry.get("kind")
+        if kind:
+            kinds[str(kind)] = kinds.get(str(kind), 0) + 1
+        source = entry.get("source")
+        if source:
+            sources[str(source)] = sources.get(str(source), 0) + 1
+        elapsed = entry.get("elapsed_sec")
+        if isinstance(elapsed, (int, float)):
+            total_elapsed += float(elapsed)
+            slowest.append((float(elapsed), str(entry.get("label", "?"))))
+    slowest.sort(reverse=True)
+    report = {
+        "specs": len(journal_entries),
+        "statuses": dict(sorted(statuses.items())),
+        "failures_by_kind": dict(sorted(kinds.items())),
+        "sources": dict(sorted(sources.items())),
+        "executed_wall_sec": total_elapsed,
+        "slowest": [
+            {"label": label, "elapsed_sec": elapsed}
+            for elapsed, label in slowest[:5]
+        ],
+    }
+    if metrics_snapshot:
+        hits = _metric_value(
+            metrics_snapshot, "sweep_cache_lookups_total", result="hit"
+        )
+        misses = _metric_value(
+            metrics_snapshot, "sweep_cache_lookups_total", result="miss"
+        )
+        report["cache"] = {
+            "hits": hits,
+            "misses": misses,
+            "hit_rate": (
+                hits / (hits + misses)
+                if hits is not None and misses is not None and hits + misses
+                else None
+            ),
+            "evictions": _metric_value(
+                metrics_snapshot, "sweep_cache_evictions_total"
+            ),
+            "store_failures": _metric_value(
+                metrics_snapshot, "sweep_cache_store_failures_total"
+            ),
+        }
+        corrupt = _metric_value(
+            metrics_snapshot, "sweep_journal_corrupt_lines_total"
+        )
+        if corrupt:
+            report["journal_corrupt_lines"] = corrupt
+    return report

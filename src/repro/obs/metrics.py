@@ -1,0 +1,440 @@
+"""Host-side metrics: a deterministic Counter/Gauge/Histogram registry.
+
+The simulator's telemetry (:mod:`repro.obs.bus`) observes *virtual*
+behaviour inside one run.  This module observes the *host harness* —
+the sweep scheduler, the result cache, the retry/journal machinery —
+which is wall-clock, multi-process work a long sweep otherwise executes
+as a black box.  The design mirrors Prometheus' data model (typed
+metrics carrying labeled series) but is deliberately deterministic and
+dependency-free:
+
+* metric and label *names* are validated against the Prometheus
+  grammar at registration time, so every snapshot is exportable;
+* :meth:`MetricsRegistry.snapshot` renders metrics sorted by name and
+  series sorted by label values, so two registries that saw the same
+  events produce byte-identical canonical JSON
+  (:meth:`MetricsRegistry.to_json`);
+* :meth:`MetricsRegistry.to_prometheus` is the text exposition format,
+  ready for a future ``repro serve`` scrape endpoint;
+* :func:`snapshot_delta` subtracts two snapshots (counters and
+  histograms subtract, gauges take the newer reading), the primitive
+  behind incremental scrapes and post-hoc windowed reports.
+
+Hard contract (the sweep twin of PR 4's no-perturbation rule): metrics
+are harness observation only.  They never enter
+:class:`~repro.sim.parallel.ExperimentSpec` cache keys and never cross
+into worker processes — ``tests/test_sweep_recorder.py`` pins
+metrics-on results field-by-field identical to metrics-off, and the
+``metrics-confinement`` heterolint rule keeps writes inside the
+observability plane.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+from repro.errors import ObservabilityError
+
+__all__ = [
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "Metric",
+    "MetricsRegistry",
+    "snapshot_delta",
+]
+
+#: Bumped whenever the snapshot JSON schema changes shape.
+METRICS_FORMAT_VERSION = 1
+
+#: Histogram bucket upper bounds (seconds) used when none are given —
+#: spans per-spec wall-clock from trivial cache-adjacent work to the
+#: multi-minute grid points a timeout would catch.
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0,
+    120.0, 300.0,
+)
+
+_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
+
+def _validate_name(name: str, what: str) -> str:
+    pattern = _NAME_RE if what == "metric" else _LABEL_RE
+    if not isinstance(name, str) or not pattern.match(name):
+        raise ObservabilityError(
+            f"invalid {what} name {name!r}: must match {pattern.pattern}"
+        )
+    if what == "label" and name.startswith("__"):
+        raise ObservabilityError(
+            f"label name {name!r} is reserved (double underscore prefix)"
+        )
+    return name
+
+
+def _escape_label_value(value: str) -> str:
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _format_value(value: float) -> str:
+    """Prometheus sample value: integers render without a trailing .0."""
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, int) or (
+        isinstance(value, float) and value.is_integer()
+    ):
+        return str(int(value))
+    return repr(value)
+
+
+class Metric:
+    """Base labeled metric: a family of series keyed by label values.
+
+    A metric declares its label *names* once; every observation supplies
+    exactly those labels (as keyword arguments), which keeps series keys
+    canonical and the exposition deterministic.  A metric with no labels
+    has a single anonymous series.
+    """
+
+    metric_type = "untyped"
+
+    def __init__(
+        self, name: str, help_text: str, labels: Iterable[str] = ()
+    ) -> None:
+        self.name = _validate_name(name, "metric")
+        self.help = str(help_text)
+        self.label_names: Tuple[str, ...] = tuple(
+            _validate_name(label, "label") for label in labels
+        )
+        if len(set(self.label_names)) != len(self.label_names):
+            raise ObservabilityError(
+                f"metric {name!r} declares duplicate label names"
+            )
+        #: label-values tuple -> series state (subclass-defined).
+        self._series: "Dict[Tuple[str, ...], object]" = {}
+
+    def _key(self, labels: Mapping[str, object]) -> Tuple[str, ...]:
+        given = set(labels)
+        declared = set(self.label_names)
+        if given != declared:
+            raise ObservabilityError(
+                f"metric {self.name!r} takes labels "
+                f"{sorted(declared)}, got {sorted(given)}"
+            )
+        return tuple(str(labels[name]) for name in self.label_names)
+
+    def _label_dict(self, key: Tuple[str, ...]) -> "Dict[str, str]":
+        return dict(zip(self.label_names, key))
+
+    def series_snapshot(self) -> List[dict]:
+        """One dict per series, sorted by label values (canonical)."""
+        return [
+            self._series_entry(key)
+            for key in sorted(self._series)
+        ]
+
+    def _series_entry(self, key: Tuple[str, ...]) -> dict:
+        raise NotImplementedError
+
+    def snapshot(self) -> dict:
+        return {
+            "type": self.metric_type,
+            "help": self.help,
+            "labels": list(self.label_names),
+            "series": self.series_snapshot(),
+        }
+
+
+class Counter(Metric):
+    """Monotonically increasing count (events, hits, retries)."""
+
+    metric_type = "counter"
+
+    def inc(self, amount: float = 1, **labels: object) -> None:
+        if amount < 0:
+            raise ObservabilityError(
+                f"counter {self.name!r} cannot decrease (inc {amount})"
+            )
+        key = self._key(labels)
+        self._series[key] = self._series.get(key, 0) + amount
+
+    def value(self, **labels: object) -> float:
+        return self._series.get(self._key(labels), 0)  # type: ignore[return-value]
+
+    def _series_entry(self, key: Tuple[str, ...]) -> dict:
+        return {"labels": self._label_dict(key), "value": self._series[key]}
+
+
+class Gauge(Metric):
+    """Point-in-time reading (queue depth, in-flight workers)."""
+
+    metric_type = "gauge"
+
+    def set(self, value: float, **labels: object) -> None:
+        self._series[self._key(labels)] = value
+
+    def add(self, amount: float, **labels: object) -> None:
+        key = self._key(labels)
+        self._series[key] = self._series.get(key, 0) + amount
+
+    def value(self, **labels: object) -> float:
+        return self._series.get(self._key(labels), 0)  # type: ignore[return-value]
+
+    def _series_entry(self, key: Tuple[str, ...]) -> dict:
+        return {"labels": self._label_dict(key), "value": self._series[key]}
+
+
+class Histogram(Metric):
+    """Distribution with fixed, cumulative buckets (per-spec seconds).
+
+    Buckets are upper bounds; an implicit ``+Inf`` bucket always exists,
+    so ``count`` equals the ``+Inf`` reading and bucket counts are
+    cumulative exactly as Prometheus expects.
+    """
+
+    metric_type = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help_text: str,
+        labels: Iterable[str] = (),
+        buckets: "Tuple[float, ...] | None" = None,
+    ) -> None:
+        super().__init__(name, help_text, labels)
+        bounds = tuple(buckets) if buckets is not None else DEFAULT_BUCKETS
+        if not bounds or list(bounds) != sorted(bounds):
+            raise ObservabilityError(
+                f"histogram {name!r} buckets must be a sorted, non-empty "
+                "sequence of upper bounds"
+            )
+        self.buckets: Tuple[float, ...] = bounds
+
+    def observe(self, value: float, **labels: object) -> None:
+        key = self._key(labels)
+        state = self._series.get(key)
+        if state is None:
+            state = {"counts": [0] * len(self.buckets), "sum": 0.0,
+                     "count": 0}
+            self._series[key] = state
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                state["counts"][i] += 1  # type: ignore[index]
+        state["sum"] += value  # type: ignore[operator]
+        state["count"] += 1  # type: ignore[operator]
+
+    def _series_entry(self, key: Tuple[str, ...]) -> dict:
+        state = self._series[key]
+        return {
+            "labels": self._label_dict(key),
+            "buckets": {
+                _format_value(bound): state["counts"][i]  # type: ignore[index]
+                for i, bound in enumerate(self.buckets)
+            },
+            "sum": state["sum"],  # type: ignore[index]
+            "count": state["count"],  # type: ignore[index]
+        }
+
+
+class MetricsRegistry:
+    """A named collection of metrics with get-or-create semantics.
+
+    ``counter``/``gauge``/``histogram`` return the existing metric when
+    one is already registered under the name — re-registration with a
+    different type or label set is an error, never a silent overwrite.
+    """
+
+    def __init__(self) -> None:
+        self._metrics: "Dict[str, Metric]" = {}
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def get(self, name: str) -> "Optional[Metric]":
+        return self._metrics.get(name)
+
+    def _register(self, cls: type, name: str, help_text: str,
+                  labels: Iterable[str], **kwargs: object) -> Metric:
+        existing = self._metrics.get(name)
+        if existing is not None:
+            if type(existing) is not cls or existing.label_names != tuple(
+                labels
+            ):
+                raise ObservabilityError(
+                    f"metric {name!r} already registered as "
+                    f"{existing.metric_type} with labels "
+                    f"{list(existing.label_names)}"
+                )
+            return existing
+        metric = cls(name, help_text, labels, **kwargs)
+        self._metrics[name] = metric
+        return metric
+
+    def counter(
+        self, name: str, help_text: str = "", labels: Iterable[str] = ()
+    ) -> Counter:
+        return self._register(Counter, name, help_text, labels)  # type: ignore[return-value]
+
+    def gauge(
+        self, name: str, help_text: str = "", labels: Iterable[str] = ()
+    ) -> Gauge:
+        return self._register(Gauge, name, help_text, labels)  # type: ignore[return-value]
+
+    def histogram(
+        self,
+        name: str,
+        help_text: str = "",
+        labels: Iterable[str] = (),
+        buckets: "Tuple[float, ...] | None" = None,
+    ) -> Histogram:
+        return self._register(  # type: ignore[return-value]
+            Histogram, name, help_text, labels, buckets=buckets
+        )
+
+    # ------------------------------------------------------------------
+    # Exposition
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Canonical, JSON-safe view: metrics by sorted name, series by
+        sorted label values.  Two registries that observed the same
+        events snapshot byte-identically."""
+        return {
+            "version": METRICS_FORMAT_VERSION,
+            "metrics": {
+                name: self._metrics[name].snapshot()
+                for name in sorted(self._metrics)
+            },
+        }
+
+    def to_json(self) -> str:
+        """Canonical single-blob JSON (sorted keys, no whitespace)."""
+        return json.dumps(
+            self.snapshot(), sort_keys=True, separators=(",", ":")
+        )
+
+    def to_prometheus(self) -> str:
+        """Prometheus text exposition format (version 0.0.4)."""
+        lines: List[str] = []
+        for name in sorted(self._metrics):
+            metric = self._metrics[name]
+            if metric.help:
+                lines.append(f"# HELP {name} {metric.help}")
+            lines.append(f"# TYPE {name} {metric.metric_type}")
+            for entry in metric.series_snapshot():
+                labels = entry["labels"]
+                if isinstance(metric, Histogram):
+                    cumulative = entry["buckets"]
+                    for bound, count in cumulative.items():
+                        lines.append(
+                            _prom_sample(
+                                f"{name}_bucket",
+                                {**labels, "le": bound},
+                                count,
+                            )
+                        )
+                    lines.append(
+                        _prom_sample(
+                            f"{name}_bucket",
+                            {**labels, "le": "+Inf"},
+                            entry["count"],
+                        )
+                    )
+                    lines.append(
+                        _prom_sample(f"{name}_sum", labels, entry["sum"])
+                    )
+                    lines.append(
+                        _prom_sample(f"{name}_count", labels, entry["count"])
+                    )
+                else:
+                    lines.append(_prom_sample(name, labels, entry["value"]))
+        return "\n".join(lines) + ("\n" if lines else "")
+
+
+def _prom_sample(
+    name: str, labels: Mapping[str, str], value: float
+) -> str:
+    if labels:
+        rendered = ",".join(
+            f'{key}="{_escape_label_value(str(labels[key]))}"'
+            for key in labels
+        )
+        return f"{name}{{{rendered}}} {_format_value(value)}"
+    return f"{name} {_format_value(value)}"
+
+
+def _series_map(metric_snapshot: dict) -> "Dict[Tuple[str, ...], dict]":
+    label_names = metric_snapshot.get("labels", [])
+    return {
+        tuple(str(entry["labels"][name]) for name in label_names): entry
+        for entry in metric_snapshot.get("series", [])
+    }
+
+
+def snapshot_delta(before: dict, after: dict) -> dict:
+    """Subtract two registry snapshots (``after - before``).
+
+    Counters and histograms subtract series-wise (a series absent from
+    ``before`` contributes its full value); gauges take the ``after``
+    reading (a gauge is a level, not a flow).  Metrics absent from
+    ``after`` are dropped — a delta describes the newer window.
+    """
+    result: dict = {
+        "version": METRICS_FORMAT_VERSION,
+        "metrics": {},
+    }
+    before_metrics = before.get("metrics", {})
+    for name in sorted(after.get("metrics", {})):
+        metric = after["metrics"][name]
+        previous = before_metrics.get(name)
+        if (
+            previous is None
+            or previous.get("type") != metric.get("type")
+            or metric.get("type") == "gauge"
+        ):
+            result["metrics"][name] = metric
+            continue
+        prior = _series_map(previous)
+        series: List[dict] = []
+        for entry in metric.get("series", []):
+            key = tuple(
+                str(entry["labels"][label])
+                for label in metric.get("labels", [])
+            )
+            old = prior.get(key)
+            if old is None:
+                series.append(entry)
+            elif metric.get("type") == "histogram":
+                series.append(
+                    {
+                        "labels": entry["labels"],
+                        "buckets": {
+                            bound: count - old["buckets"].get(bound, 0)
+                            for bound, count in entry["buckets"].items()
+                        },
+                        "sum": entry["sum"] - old["sum"],
+                        "count": entry["count"] - old["count"],
+                    }
+                )
+            else:
+                series.append(
+                    {
+                        "labels": entry["labels"],
+                        "value": entry["value"] - old["value"],
+                    }
+                )
+        result["metrics"][name] = {
+            "type": metric.get("type"),
+            "help": metric.get("help", ""),
+            "labels": metric.get("labels", []),
+            "series": series,
+        }
+    return result

@@ -56,6 +56,7 @@ from repro.faults import FaultPlan
 from repro.hw.throttle import ThrottleConfig
 from repro.hw.topology import remote_dram
 from repro.obs.bus import Telemetry
+from repro.obs.flight import SweepRecorder
 from repro.obs.sample import EpochSample
 from repro.obs.sinks import json_line
 from repro.sim.runner import build_config, run_experiment
@@ -365,6 +366,11 @@ class ResultCache:
         self.directory = Path(directory)
         self.hits = 0
         self.misses = 0
+        #: Invalid entries deleted during lookups (version skew, key
+        #: collisions, spec mismatches) — flight-recorder fodder.
+        self.evictions = 0
+        #: Failed store attempts (read-only/full cache directory).
+        self.store_failures = 0
         self._store_warned = False
 
     def writable(self) -> bool:
@@ -425,6 +431,7 @@ class ResultCache:
             or not isinstance(payload.get("result"), RunResult)
         ):
             self.misses += 1
+            self.evictions += 1
             self._evict(path)
             return None
         result = payload["result"]
@@ -467,6 +474,7 @@ class ResultCache:
             # Cache-miss-and-warn degradation: a read-only or full cache
             # directory slows the next sweep down but never fails this
             # one.  Clean up the half-written temp file best-effort.
+            self.store_failures += 1
             self._evict(tmp)
             self._note_store_failure(exc)
 
@@ -620,10 +628,16 @@ class SweepJournal:
 
     def __init__(self, path: "str | Path") -> None:
         self.path = Path(path)
+        #: Corrupt lines dropped by the most recent :meth:`load` — a
+        #: torn write from a kill is expected (count 1); more than that
+        #: suggests real file damage, so the count is surfaced as a
+        #: warning and a flight-recorder metric instead of vanishing.
+        self.corrupt_lines_skipped = 0
 
     def load(self) -> "dict[str, dict]":
         """Entries by cache key; empty when absent or unreadable."""
         entries: "dict[str, dict]" = {}
+        corrupt = 0
         try:
             with open(self.path, "r", encoding="utf-8") as handle:
                 for line in handle:
@@ -633,13 +647,23 @@ class SweepJournal:
                     try:
                         entry = json.loads(line)
                     except ValueError:
-                        continue  # torn write from a kill mid-append
+                        corrupt += 1  # torn write from a kill mid-append
+                        continue
                     if isinstance(entry, dict) and isinstance(
                         entry.get("key"), str
                     ):
                         entries[entry["key"]] = entry
         except OSError:
             pass
+        self.corrupt_lines_skipped = corrupt
+        if corrupt:
+            warnings.warn(
+                f"sweep journal {self.path}: skipped {corrupt} corrupt "
+                "line(s) (torn writes from a kill mid-append); the "
+                "affected specs will re-run",
+                RuntimeWarning,
+                stacklevel=2,
+            )
         return entries
 
     def record(
@@ -651,6 +675,10 @@ class SweepJournal:
             "key": spec.cache_key(fingerprint),
             "label": spec.label,
             "status": "ok" if outcome.ok else "failed",
+            # Harness telemetry for post-hoc `repro report`; resume
+            # logic never reads these two fields.
+            "source": outcome.source,
+            "elapsed_sec": outcome.elapsed_sec,
         }
         if outcome.error is not None:
             entry["kind"] = outcome.error.kind
@@ -835,6 +863,7 @@ def run_specs(
     retries: int = 0,
     retry_backoff_sec: float = 0.5,
     journal: "SweepJournal | str | Path | None" = None,
+    recorder: "SweepRecorder | None" = None,
 ) -> "list[SpecOutcome]":
     """Execute a grid, returning one :class:`SpecOutcome` per input spec.
 
@@ -861,6 +890,14 @@ def run_specs(
     Telemetry never enters the cache key; timelines persist as JSONL
     sidecars next to the pickled entry, and a cached entry without a
     sidecar simply re-runs.
+
+    ``recorder`` (a :class:`~repro.obs.flight.SweepRecorder`) receives
+    host-side execution telemetry — cache traffic, journal reuse,
+    per-spec wall-clock, retries, fault roll-ups.  Like ``telemetry``
+    on :func:`run_spec`, it is observation only: it stays in the parent
+    process, never enters cache keys, and a recorder-on sweep returns
+    results field-by-field identical to a recorder-off sweep
+    (``tests/test_sweep_recorder.py``).
     """
     ordered = list(specs)
     resolved_cache = _resolve_cache(cache)
@@ -893,6 +930,16 @@ def run_specs(
     for index, spec in enumerate(ordered):
         pending.setdefault(spec, []).append(index)
 
+    if max_workers is None:
+        max_workers = os.cpu_count() or 1
+    if recorder is not None:
+        recorder.sweep_started(
+            total=len(ordered),
+            distinct=len(pending),
+            max_workers=max_workers,
+            cache=resolved_cache,
+        )
+
     # Cache pass (in the parent: workers never touch the cache, so a
     # broken worker cannot corrupt it).
     misses: "list[ExperimentSpec]" = []
@@ -905,11 +952,23 @@ def run_specs(
             else None
         )
         if cached is not None:
+            if recorder is not None:
+                recorder.cache_hit(spec.label)
+                recorder.outcome(
+                    spec.label,
+                    "cache",
+                    "ok",
+                    0.0,
+                    fault_counts=cached.fault_counts,
+                    copies=len(indexes),
+                )
             for index in indexes:
                 _record(
                     index, SpecOutcome(spec=spec, result=cached, source="cache")
                 )
         else:
+            if recorder is not None and resolved_cache is not None:
+                recorder.cache_miss(spec.label)
             misses.append(spec)
 
     # Journal pass: a resumed sweep reuses journaled *deterministic*
@@ -917,6 +976,10 @@ def run_specs(
     # failures and journaled successes whose cache entry is gone re-run.
     if resolved_journal is not None and misses:
         journaled = resolved_journal.load()
+        if recorder is not None:
+            recorder.journal_corrupt_lines(
+                resolved_journal.corrupt_lines_skipped
+            )
         remaining: "list[ExperimentSpec]" = []
         for spec in misses:
             entry = journaled.get(spec.cache_key(fingerprint or ""))
@@ -926,6 +989,16 @@ def run_specs(
                     message=str(entry.get("message", "")),
                     error_type=entry.get("error_type"),
                 )
+                if recorder is not None:
+                    recorder.journal_reused(spec.label)
+                    recorder.outcome(
+                        spec.label,
+                        "journal",
+                        "failed",
+                        0.0,
+                        failure_kind="error",
+                        copies=len(pending[spec]),
+                    )
                 for index in pending[spec]:
                     _record(
                         index,
@@ -935,14 +1008,25 @@ def run_specs(
                 remaining.append(spec)
         misses = remaining
 
-    if max_workers is None:
-        max_workers = os.cpu_count() or 1
-
     def _finish(spec: ExperimentSpec, outcome: SpecOutcome) -> None:
         if outcome.ok and resolved_cache is not None:
             resolved_cache.store(spec, fingerprint, outcome.result)
         if resolved_journal is not None:
             resolved_journal.record(spec, fingerprint or "", outcome)
+        if recorder is not None:
+            recorder.outcome(
+                spec.label,
+                outcome.source,
+                "ok" if outcome.ok else "failed",
+                outcome.elapsed_sec,
+                fault_counts=(
+                    outcome.result.fault_counts if outcome.ok else None
+                ),
+                failure_kind=(
+                    outcome.error.kind if outcome.error is not None else None
+                ),
+                copies=len(pending[spec]),
+            )
         for index in pending[spec]:
             _record(index, outcome)
 
@@ -1065,6 +1149,10 @@ def run_specs(
                 and outcome.error is not None
                 and outcome.error.transient
             ):
+                if recorder is not None:
+                    recorder.retry(
+                        spec.label, outcome.error.kind, attempt + 1
+                    )
                 retryable.append(spec)
             else:
                 _finish(spec, outcome)
@@ -1075,6 +1163,8 @@ def run_specs(
         attempt += 1
         _sleep_backoff(retry_backoff_sec, attempt)
         to_run = retryable
+    if recorder is not None:
+        recorder.sweep_finished(cache=resolved_cache)
     return [outcomes[i] for i in range(len(ordered))]
 
 

@@ -144,3 +144,95 @@ def test_timeline_diff_identical_files_exit_zero(tmp_path, capsys):
 
 def test_timeline_requires_path_or_diff(capsys):
     assert main(["timeline"]) == 2
+
+
+# ---------------------------------------------------------------------------
+# Sweep observability: --metrics / --trace-sweep / --live and `repro report`.
+# ---------------------------------------------------------------------------
+
+
+def _sweep_args(tmp_path, *extra):
+    return [
+        "sweep", "--apps", "nginx", "--policies", "heap-od",
+        "--ratios", "0.25", "--epochs", "3",
+        "--cache-dir", str(tmp_path / "cache"), *extra,
+    ]
+
+
+def test_cli_sweep_writes_metrics_and_trace(tmp_path, capsys):
+    metrics_path = tmp_path / "sweep.metrics.json"
+    trace_path = tmp_path / "sweep.trace.json"
+    code = main(_sweep_args(
+        tmp_path, "--metrics", str(metrics_path),
+        "--trace-sweep", str(trace_path),
+    ))
+    assert code == 0
+    captured = capsys.readouterr()
+    assert "gain_pct" in captured.out
+    assert str(metrics_path) in captured.err
+    assert "ui.perfetto.dev" in captured.err
+    snapshot = json.loads(metrics_path.read_text())
+    assert snapshot["version"] == 1
+    specs_total = snapshot["metrics"]["sweep_specs_total"]["series"]
+    assert sum(s["value"] for s in specs_total) == 2  # policy + baseline
+    trace = json.loads(trace_path.read_text())
+    assert trace["displayTimeUnit"] == "ms"
+    assert all(e["pid"] == 2 for e in trace["traceEvents"])
+
+
+def test_cli_sweep_metrics_prometheus_by_suffix(tmp_path, capsys):
+    metrics_path = tmp_path / "sweep.prom"
+    code = main(_sweep_args(tmp_path, "--metrics", str(metrics_path)))
+    assert code == 0
+    capsys.readouterr()
+    text = metrics_path.read_text()
+    assert "# TYPE sweep_specs_total counter" in text
+    assert 'sweep_specs_total{status="ok"} 2' in text
+
+
+def test_cli_sweep_live_degrades_without_tty(tmp_path, capsys):
+    # capsys' stderr is not a TTY, so --live falls back to plain
+    # per-spec progress lines instead of ANSI repaints.
+    code = main(_sweep_args(tmp_path, "--live"))
+    assert code == 0
+    err = capsys.readouterr().err
+    assert "\x1b[" not in err
+    assert "[2/2]" in err
+
+
+def test_cli_report_from_cache_dir(tmp_path, capsys):
+    metrics_path = tmp_path / "sweep.metrics.json"
+    main(_sweep_args(tmp_path, "--metrics", str(metrics_path)))
+    capsys.readouterr()
+    code = main([
+        "report", "--cache-dir", str(tmp_path / "cache"),
+        "--metrics", str(metrics_path),
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "specs    : 2 (ok=2)" in out
+    assert "cache    :" in out
+
+
+def test_cli_report_json_format(tmp_path, capsys):
+    main(_sweep_args(tmp_path))
+    capsys.readouterr()
+    journal = tmp_path / "cache" / "sweep-journal.jsonl"
+    code = main(["report", "--journal", str(journal), "--format", "json"])
+    assert code == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["specs"] == 2
+    assert payload["statuses"] == {"ok": 2}
+    assert payload["sources"] == {"serial": 2}
+
+
+def test_cli_report_without_journal_is_usage_error(monkeypatch, capsys):
+    monkeypatch.delenv("REPRO_SWEEP_CACHE_DIR", raising=False)
+    assert main(["report"]) == 2
+    assert "--journal" in capsys.readouterr().err
+
+
+def test_cli_report_missing_journal_file(tmp_path, capsys):
+    code = main(["report", "--journal", str(tmp_path / "nope.jsonl")])
+    assert code == 1
+    assert "no journal" in capsys.readouterr().err

@@ -384,6 +384,65 @@ def test_numpy_import_ignores_lookalike_modules():
 
 
 # ----------------------------------------------------------------------
+# metrics-confinement
+# ----------------------------------------------------------------------
+
+
+def test_metrics_confinement_flags_import_outside_allowlist():
+    src = "from repro.obs.metrics import MetricsRegistry\n"
+    hits = rule_hits(
+        src, relpath="src/repro/core/policy.py",
+        rule_id="metrics-confinement",
+    )
+    assert len(hits) == 1
+    assert "sim/parallel.py" in hits[0].message
+
+
+def test_metrics_confinement_flags_plain_and_reexport_imports():
+    src = (
+        "import repro.obs.flight\n"
+        "from repro.obs import SweepRecorder\n"
+    )
+    hits = rule_hits(
+        src, relpath="src/repro/experiments/sweep.py",
+        rule_id="metrics-confinement",
+    )
+    assert [f.line for f in hits] == [1, 2]
+
+
+def test_metrics_confinement_allows_harness_and_obs_itself():
+    src = "from repro.obs.flight import SweepRecorder\n"
+    for relpath in (
+        "src/repro/sim/parallel.py",
+        "src/repro/cli.py",
+        "src/repro/obs/flight.py",
+        "src/repro/obs/__init__.py",
+    ):
+        assert not rule_hits(
+            src, relpath=relpath, rule_id="metrics-confinement"
+        ), relpath
+
+
+def test_metrics_confinement_ignores_non_metrics_obs_imports():
+    # Telemetry and sinks are fair game everywhere obs is importable;
+    # only the host-metrics surface is confined.
+    src = "from repro.obs import Telemetry, JsonlSink\n"
+    assert not rule_hits(
+        src, relpath="src/repro/experiments/sweep.py",
+        rule_id="metrics-confinement",
+    )
+
+
+def test_metrics_confinement_does_not_mistake_jobs_for_obs():
+    src = "from repro.obs.metrics import Counter\n"
+    hits = rule_hits(
+        src, relpath="src/repro/jobs/runner.py",
+        rule_id="metrics-confinement",
+    )
+    assert len(hits) == 1  # "jobs/" is not "obs/"
+
+
+# ----------------------------------------------------------------------
 # Suppressions
 # ----------------------------------------------------------------------
 

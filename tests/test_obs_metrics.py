@@ -1,0 +1,194 @@
+"""Host metrics registry: determinism, typing, exposition contracts.
+
+The registry's load-bearing properties:
+
+1. **Deterministic exposition** — two registries that observed the same
+   events snapshot byte-identically (sorted metric names, sorted series
+   keys, canonical JSON), so metrics artifacts diff cleanly across runs.
+2. **Typed, validated series** — counters cannot decrease, label sets
+   are declared once and enforced per observation, re-registration with
+   a different shape errors instead of silently forking state.
+3. **Prometheus text exposition** — the snapshot renders in the 0.0.4
+   text format (HELP/TYPE lines, escaped labels, cumulative histogram
+   buckets with ``+Inf``), ready for a scrape endpoint.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ObservabilityError
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    MetricsRegistry,
+    snapshot_delta,
+)
+
+
+def test_counter_accumulates_per_label_series():
+    reg = MetricsRegistry()
+    c = reg.counter("requests_total", "Requests.", labels=("status",))
+    c.inc(status="ok")
+    c.inc(2, status="ok")
+    c.inc(status="failed")
+    assert c.value(status="ok") == 3
+    assert c.value(status="failed") == 1
+    assert c.value(status="never-seen") == 0
+
+
+def test_counter_rejects_decrease_and_wrong_labels():
+    reg = MetricsRegistry()
+    c = reg.counter("events_total", labels=("kind",))
+    with pytest.raises(ObservabilityError):
+        c.inc(-1, kind="x")
+    with pytest.raises(ObservabilityError):
+        c.inc(status="x")  # undeclared label name
+    with pytest.raises(ObservabilityError):
+        c.inc()  # missing the declared label
+
+
+def test_gauge_set_and_add():
+    reg = MetricsRegistry()
+    g = reg.gauge("depth")
+    g.set(5)
+    g.add(-2)
+    assert g.value() == 3
+
+
+def test_histogram_buckets_are_cumulative():
+    reg = MetricsRegistry()
+    h = reg.histogram("lat", buckets=(0.1, 1.0, 10.0))
+    for v in (0.05, 0.5, 0.5, 5.0, 50.0):
+        h.observe(v)
+    (entry,) = h.series_snapshot()
+    assert entry["buckets"] == {"0.1": 1, "1": 3, "10": 4}
+    assert entry["count"] == 5
+    assert entry["sum"] == pytest.approx(56.05)
+
+
+def test_histogram_rejects_unsorted_or_empty_buckets():
+    reg = MetricsRegistry()
+    with pytest.raises(ObservabilityError):
+        reg.histogram("bad", buckets=(1.0, 0.5))
+    with pytest.raises(ObservabilityError):
+        reg.histogram("empty", buckets=())
+
+
+def test_get_or_create_returns_same_metric():
+    reg = MetricsRegistry()
+    first = reg.counter("hits_total", labels=("kind",))
+    again = reg.counter("hits_total", labels=("kind",))
+    assert first is again
+    assert len(reg) == 1
+
+
+def test_reregistration_with_different_shape_errors():
+    reg = MetricsRegistry()
+    reg.counter("thing_total", labels=("a",))
+    with pytest.raises(ObservabilityError):
+        reg.gauge("thing_total")  # type change
+    with pytest.raises(ObservabilityError):
+        reg.counter("thing_total", labels=("b",))  # label change
+
+
+@pytest.mark.parametrize("bad", ["", "0abc", "with space", "dash-ed"])
+def test_metric_name_validation(bad):
+    reg = MetricsRegistry()
+    with pytest.raises(ObservabilityError):
+        reg.counter(bad)
+
+
+def test_reserved_and_duplicate_label_names_rejected():
+    reg = MetricsRegistry()
+    with pytest.raises(ObservabilityError):
+        reg.counter("a_total", labels=("__reserved",))
+    with pytest.raises(ObservabilityError):
+        reg.counter("b_total", labels=("x", "x"))
+
+
+def _drive(reg: MetricsRegistry) -> None:
+    c = reg.counter("ops_total", "Ops.", labels=("kind",))
+    c.inc(kind="read")
+    c.inc(3, kind="write")
+    reg.gauge("depth", "Depth.").set(7)
+    h = reg.histogram("sec", "Secs.", buckets=(1.0, 10.0))
+    h.observe(0.5)
+    h.observe(5.0)
+
+
+def test_snapshot_is_deterministic_across_registries():
+    a, b = MetricsRegistry(), MetricsRegistry()
+    _drive(a)
+    _drive(b)
+    assert a.to_json() == b.to_json()
+    # Canonical JSON: re-dumping the parsed snapshot round-trips.
+    parsed = json.loads(a.to_json())
+    assert parsed["version"] == 1
+    assert sorted(parsed["metrics"]) == ["depth", "ops_total", "sec"]
+
+
+def test_snapshot_series_sorted_by_label_values():
+    reg = MetricsRegistry()
+    c = reg.counter("x_total", labels=("k",))
+    c.inc(k="zebra")
+    c.inc(k="alpha")
+    snap = reg.snapshot()["metrics"]["x_total"]
+    assert [s["labels"]["k"] for s in snap["series"]] == ["alpha", "zebra"]
+
+
+def test_prometheus_exposition_format():
+    reg = MetricsRegistry()
+    _drive(reg)
+    text = reg.to_prometheus()
+    lines = text.splitlines()
+    assert "# HELP ops_total Ops." in lines
+    assert "# TYPE ops_total counter" in lines
+    assert 'ops_total{kind="read"} 1' in lines
+    assert 'ops_total{kind="write"} 3' in lines
+    assert "# TYPE depth gauge" in lines
+    assert "depth 7" in lines
+    assert "# TYPE sec histogram" in lines
+    assert 'sec_bucket{le="1"} 1' in lines
+    assert 'sec_bucket{le="10"} 2' in lines
+    assert 'sec_bucket{le="+Inf"} 2' in lines
+    assert "sec_sum 5.5" in lines
+    assert "sec_count 2" in lines
+    assert text.endswith("\n")
+
+
+def test_prometheus_label_value_escaping():
+    reg = MetricsRegistry()
+    c = reg.counter("msg_total", labels=("text",))
+    c.inc(text='say "hi"\nback\\slash')
+    text = reg.to_prometheus()
+    assert 'msg_total{text="say \\"hi\\"\\nback\\\\slash"} 1' in text
+
+
+def test_snapshot_delta_counters_and_histograms_subtract():
+    reg = MetricsRegistry()
+    _drive(reg)
+    before = reg.snapshot()
+    c = reg.counter("ops_total", labels=("kind",))
+    c.inc(5, kind="read")
+    c.inc(kind="delete")  # new series: passes through whole
+    reg.gauge("depth").set(2)
+    reg.histogram("sec", buckets=(1.0, 10.0)).observe(0.25)
+    after = reg.snapshot()
+    delta = snapshot_delta(before, after)
+    ops = {
+        s["labels"]["kind"]: s["value"]
+        for s in delta["metrics"]["ops_total"]["series"]
+    }
+    assert ops == {"read": 5, "write": 0, "delete": 1}
+    # Gauges are levels, not flows: the delta takes the newer reading.
+    assert delta["metrics"]["depth"]["series"][0]["value"] == 2
+    (sec,) = delta["metrics"]["sec"]["series"]
+    assert sec["count"] == 1
+    assert sec["sum"] == pytest.approx(0.25)
+    assert sec["buckets"] == {"1": 1, "10": 1}
+
+
+def test_default_buckets_sorted():
+    assert list(DEFAULT_BUCKETS) == sorted(DEFAULT_BUCKETS)

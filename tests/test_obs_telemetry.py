@@ -196,11 +196,33 @@ def test_jsonl_sink_round_trips_through_load_timeline(tmp_path):
     assert summary["runtime_ns"] == traced.stats.runtime_ns
 
 
-def test_load_timeline_rejects_garbage(tmp_path):
+def test_load_timeline_rejects_garbage_mid_file(tmp_path):
+    # Corruption anywhere but the last line is a damaged file, not a
+    # torn write — it must still raise.
     path = tmp_path / "bad.jsonl"
-    path.write_text('{"type":"header"}\nnot json\n')
+    path.write_text('{"type":"header"}\nnot json\n{"type":"summary"}\n')
     with pytest.raises(ObservabilityError):
         load_timeline(path)
+
+
+def test_load_timeline_drops_truncated_trailing_line(tmp_path):
+    # A crash mid-append leaves half a JSON object as the final line;
+    # the rest of the timeline must stay loadable (warn + drop).
+    sample = EpochSample(epoch=0, runtime_ns=10.0)
+    path = tmp_path / "truncated.jsonl"
+    path.write_text(
+        json_line({"type": "header", "workload": "redis"})
+        + "\n"
+        + json_line(dict(sample.to_dict(), type="sample"))
+        + "\n"
+        + '{"type":"sample","epo'  # torn write: no closing brace/newline
+    )
+    with pytest.warns(RuntimeWarning, match="truncated trailing line"):
+        header, samples, summary = load_timeline(path)
+    assert header == {"workload": "redis"}
+    assert len(samples) == 1
+    assert samples[0].epoch == 0
+    assert summary == {}
 
 
 def test_chrome_trace_sink_emits_valid_trace(tmp_path):

@@ -1,0 +1,378 @@
+"""Sweep flight recorder: no-perturbation pin + telemetry correctness.
+
+The hard contract mirrors PR 4's telemetry rule, one layer up: the
+recorder observes the *harness*, never steers it.
+
+1. **Recorder-on == recorder-off** — ``run_specs`` with a
+   :class:`SweepRecorder` attached returns field-by-field identical
+   results to the same grid without one, for every registered policy,
+   across serial, parallel, and cached execution.
+2. **Metrics never enter cache keys** — a recorder-on sweep's cache
+   entries are served verbatim to a recorder-off sweep (and vice
+   versa), and the recorder is not a ``run_spec`` parameter at all.
+3. **The numbers are right** — cache hit/miss, dedup, retries, journal
+   reuse, corrupt-line skips, and fault roll-ups land in the metrics
+   the live view and ``repro report`` read.
+4. **Traces compose** — the sweep-lane Chrome trace merges with PR 4's
+   per-run traces into one valid Perfetto-loadable file.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import inspect
+import json
+
+import pytest
+
+from repro.core.policy import available_policies
+from repro.faults import FaultPlan, FaultSpec, merge_fault_counts
+from repro.obs import ChromeTraceSink, Telemetry
+from repro.obs.flight import (
+    SWEEP_PID,
+    SweepRecorder,
+    format_live_status,
+    merge_traces,
+    reconstruct_report,
+)
+from repro.sim import parallel
+from repro.sim.parallel import (
+    ExperimentSpec,
+    SweepJournal,
+    make_spec,
+    run_spec,
+    run_specs,
+)
+
+EPOCHS = 2
+WORKLOADS = ("nginx", "redis")
+
+_HAS_FORK = "fork" in __import__("multiprocessing").get_all_start_methods()
+
+needs_fork = pytest.mark.skipif(
+    not _HAS_FORK, reason="platform lacks fork start method"
+)
+
+
+def all_policy_specs() -> "list[ExperimentSpec]":
+    return [
+        make_spec(app, policy, epochs=EPOCHS)
+        for app in WORKLOADS
+        for policy in available_policies()
+    ]
+
+
+def result_dicts(outcomes) -> "list[dict]":
+    return [dataclasses.asdict(o.result) for o in outcomes]
+
+
+# ---------------------------------------------------------------------------
+# Contract 1 + 2: no perturbation, no cache-key entanglement.
+# ---------------------------------------------------------------------------
+
+
+def test_recorder_on_equals_recorder_off_serial_every_policy():
+    specs = all_policy_specs()
+    plain = run_specs(specs)
+    recorded = run_specs(specs, recorder=SweepRecorder())
+    assert result_dicts(recorded) == result_dicts(plain)
+
+
+@needs_fork
+def test_recorder_on_equals_recorder_off_parallel(tmp_path):
+    specs = all_policy_specs()
+    plain = run_specs(specs, max_workers=2)
+    recorded = run_specs(specs, max_workers=2, recorder=SweepRecorder())
+    assert result_dicts(recorded) == result_dicts(plain)
+
+
+def test_recorder_on_cache_entries_serve_recorder_off(tmp_path):
+    # Keys carry no metrics state: entries written under a recorder-on
+    # sweep hit verbatim in a recorder-off sweep, and vice versa.
+    specs = [make_spec(app, "hetero-lru", epochs=EPOCHS) for app in WORKLOADS]
+    cache_dir = tmp_path / "cache"
+    recorded = run_specs(specs, cache=cache_dir, recorder=SweepRecorder())
+    plain = run_specs(specs, cache=cache_dir)
+    assert all(o.source == "cache" for o in plain)
+    assert result_dicts(plain) == result_dicts(recorded)
+    rec = SweepRecorder()
+    rehit = run_specs(specs, cache=cache_dir, recorder=rec)
+    assert all(o.source == "cache" for o in rehit)
+    assert result_dicts(rehit) == result_dicts(recorded)
+    assert rec.cache_hits == len(specs)
+
+
+def test_recorder_is_not_a_run_spec_parameter():
+    # The recorder attaches to run_specs (the harness), never run_spec
+    # (the simulation path) — so it cannot touch worker-side state and
+    # the CACHE_KEY_EXCLUDED contract anchor stays exhaustive.
+    assert "recorder" not in inspect.signature(run_spec).parameters
+    assert "recorder" in inspect.signature(run_specs).parameters
+    assert "recorder" not in parallel.CACHE_KEY_EXCLUDED
+
+
+# ---------------------------------------------------------------------------
+# Contract 3: the recorded numbers are right.
+# ---------------------------------------------------------------------------
+
+
+def _counter_value(rec, name, **labels):
+    metric = rec.registry.get(name)
+    return metric.value(**labels) if metric is not None else None
+
+
+def test_recorder_counts_dedup_and_outcomes(tmp_path):
+    spec = make_spec("redis", "hetero-lru", epochs=EPOCHS)
+    rec = SweepRecorder()
+    outcomes = run_specs([spec, spec, spec], recorder=rec)
+    assert all(o.ok for o in outcomes)
+    assert rec.total == 3
+    assert rec.distinct == 1
+    assert _counter_value(rec, "sweep_specs_deduped_total") == 2
+    assert _counter_value(rec, "sweep_specs_total", status="ok") == 3
+    assert _counter_value(rec, "sweep_spec_results_total", source="serial") == 1
+    snap = rec.registry.snapshot()["metrics"]["sweep_spec_seconds"]
+    (series,) = snap["series"]
+    assert series["labels"] == {"source": "serial"}
+    assert series["count"] == 1
+
+
+def test_recorder_counts_cache_hits_and_misses(tmp_path):
+    specs = [make_spec(app, "hetero-lru", epochs=EPOCHS) for app in WORKLOADS]
+    cache_dir = tmp_path / "cache"
+    cold = SweepRecorder()
+    run_specs(specs, cache=cache_dir, recorder=cold)
+    assert _counter_value(cold, "sweep_cache_lookups_total", result="miss") == 2
+    assert _counter_value(cold, "sweep_cache_lookups_total", result="hit") == 0
+    warm = SweepRecorder()
+    run_specs(specs, cache=cache_dir, recorder=warm)
+    assert _counter_value(warm, "sweep_cache_lookups_total", result="hit") == 2
+    assert warm.status()["hit_rate"] == 1.0
+
+
+def test_recorder_counts_retries_by_kind(monkeypatch):
+    real = parallel._run_one
+    calls = {"n": 0}
+
+    def flaky(spec, timeout_sec, capture_timelines=False):
+        calls["n"] += 1
+        if calls["n"] == 1:
+            return ("timeout", "injected budget overrun", 0.0)
+        return real(spec, timeout_sec, capture_timelines)
+
+    monkeypatch.setattr(parallel, "_run_one", flaky)
+    rec = SweepRecorder()
+    outcomes = run_specs(
+        [make_spec("redis", "hetero-lru", epochs=EPOCHS)],
+        retries=2,
+        retry_backoff_sec=0.0,
+        recorder=rec,
+    )
+    assert outcomes[0].ok
+    assert rec.retries == 1
+    assert _counter_value(rec, "sweep_retries_total", kind="timeout") == 1
+
+
+def test_recorder_counts_terminal_failures_by_kind(monkeypatch):
+    monkeypatch.setattr(
+        parallel, "_run_one",
+        lambda spec, t, c=False: ("timeout", "injected", 0.0),
+    )
+    rec = SweepRecorder()
+    outcomes = run_specs(
+        [make_spec("redis", "hetero-lru", epochs=EPOCHS)], recorder=rec
+    )
+    assert not outcomes[0].ok
+    assert _counter_value(rec, "sweep_specs_total", status="failed") == 1
+    assert _counter_value(rec, "sweep_failures_total", kind="timeout") == 1
+    assert rec.status()["failures_by_kind"] == {"timeout": 1}
+
+
+def test_recorder_counts_journal_reuse_and_corrupt_lines(tmp_path):
+    spec = make_spec("redis", "hetero-lru", epochs=EPOCHS)
+    journal_path = tmp_path / "journal.jsonl"
+    journal = SweepJournal(journal_path)
+    journal.record(
+        spec, "fp",
+        parallel.SpecOutcome(
+            spec=spec,
+            error=parallel.SpecFailure(
+                kind="error", message="injected", error_type="MigrationError"
+            ),
+        ),
+    )
+    with open(journal_path, "a", encoding="utf-8") as fh:
+        fh.write('{"key":"torn')  # kill mid-append
+    rec = SweepRecorder()
+    with pytest.warns(RuntimeWarning, match="corrupt line"):
+        outcomes = run_specs(
+            [spec], journal=journal, fingerprint="fp", recorder=rec
+        )
+    assert outcomes[0].source == "journal"
+    assert _counter_value(rec, "sweep_journal_reused_total") == 1
+    assert _counter_value(rec, "sweep_journal_corrupt_lines_total") == 1
+
+
+def test_recorder_rolls_up_fault_counts():
+    plan = FaultPlan(
+        seed=13, faults=(FaultSpec("channel-drop", probability=1.0),)
+    )
+    spec = make_spec("redis", "hetero-coordinated", epochs=3, faults=plan)
+    rec = SweepRecorder()
+    outcomes = run_specs([spec], recorder=rec)
+    assert outcomes[0].ok
+    fired = outcomes[0].result.fault_counts
+    assert fired.get("channel-drop", 0) > 0
+    assert rec.fault_counts == fired
+    assert (
+        _counter_value(rec, "sweep_fault_events_total", kind="channel-drop")
+        == fired["channel-drop"]
+    )
+
+
+def test_merge_fault_counts_accumulates():
+    total: dict = {}
+    merge_fault_counts(total, {"channel-drop": 2})
+    merge_fault_counts(total, {"channel-drop": 1, "scan-lost": 4})
+    assert total == {"channel-drop": 3, "scan-lost": 4}
+
+
+def test_live_status_and_eta():
+    rec = SweepRecorder()
+    rec.sweep_started(total=4, distinct=4, max_workers=2)
+    rec.outcome("a", "serial", "ok", 0.5)
+    status = rec.status()
+    assert status["done"] == 1
+    assert status["queue_depth"] == 3
+    assert status["eta_sec"] is not None and status["eta_sec"] > 0
+    screen = format_live_status(status)
+    assert "1/4" in screen
+    assert "eta" in screen
+    assert "\n" in screen  # multi-line, one screen
+
+
+def test_metrics_artifact_formats(tmp_path):
+    rec = SweepRecorder()
+    rec.sweep_started(total=1, distinct=1, max_workers=1)
+    rec.outcome("a", "serial", "ok", 0.5)
+    json_path = rec.write_metrics(tmp_path / "m.json")
+    snapshot = json.loads(json_path.read_text())
+    assert snapshot["version"] == 1
+    assert "sweep_specs_total" in snapshot["metrics"]
+    prom_path = rec.write_metrics(tmp_path / "m.prom")
+    text = prom_path.read_text()
+    assert "# TYPE sweep_specs_total counter" in text
+    assert 'sweep_specs_total{status="ok"} 1' in text
+
+
+def test_recorder_rejects_unknown_status():
+    rec = SweepRecorder()
+    from repro.errors import ObservabilityError
+
+    with pytest.raises(ObservabilityError):
+        rec.outcome("a", "serial", "exploded", 0.1)
+
+
+# ---------------------------------------------------------------------------
+# Contract 4: the sweep trace is valid and composes with per-run traces.
+# ---------------------------------------------------------------------------
+
+#: Minimal Chrome trace_event JSON schema: the shape Perfetto's legacy
+#: JSON importer requires of every event we emit.
+TRACE_SCHEMA = {
+    "type": "object",
+    "required": ["traceEvents"],
+    "properties": {
+        "traceEvents": {
+            "type": "array",
+            "items": {
+                "type": "object",
+                "required": ["name", "ph", "pid", "tid"],
+                "properties": {
+                    "name": {"type": "string"},
+                    "ph": {"type": "string", "minLength": 1, "maxLength": 1},
+                    "pid": {"type": "integer", "minimum": 0},
+                    "tid": {"type": "integer", "minimum": 0},
+                    "ts": {"type": "number", "minimum": 0},
+                    "dur": {"type": "number", "minimum": 0},
+                    "args": {"type": "object"},
+                },
+            },
+        }
+    },
+}
+
+
+def _sweep_trace(tmp_path):
+    specs = [make_spec(app, "hetero-lru", epochs=EPOCHS) for app in WORKLOADS]
+    rec = SweepRecorder()
+    run_specs(specs, recorder=rec)
+    path = tmp_path / "sweep.trace.json"
+    rec.write_chrome_trace(path)
+    return path
+
+
+def test_sweep_trace_is_valid_and_laned(tmp_path):
+    jsonschema = pytest.importorskip("jsonschema")
+    path = _sweep_trace(tmp_path)
+    payload = json.loads(path.read_text())
+    jsonschema.validate(payload, TRACE_SCHEMA)
+    events = payload["traceEvents"]
+    spans = [e for e in events if e["ph"] == "X"]
+    assert len(spans) == 2
+    assert all(e["pid"] == SWEEP_PID for e in events)
+    # Serial execution packs onto one lane: spans must not overlap.
+    lanes: dict = {}
+    for span in sorted(spans, key=lambda e: e["ts"]):
+        last_end = lanes.get(span["tid"], 0.0)
+        assert span["ts"] >= last_end
+        lanes[span["tid"]] = span["ts"] + span["dur"]
+
+
+def test_sweep_and_run_traces_merge_into_one_view(tmp_path):
+    jsonschema = pytest.importorskip("jsonschema")
+    sweep_path = _sweep_trace(tmp_path)
+    run_path = tmp_path / "run.trace.json"
+    telemetry = Telemetry(sinks=[ChromeTraceSink(run_path)])
+    run_spec(
+        make_spec("redis", "hetero-lru", epochs=EPOCHS), telemetry=telemetry
+    )
+    merged_path = merge_traces([sweep_path, run_path], tmp_path / "all.json")
+    merged = json.loads(merged_path.read_text())
+    jsonschema.validate(merged, TRACE_SCHEMA)
+    source_events = (
+        json.loads(sweep_path.read_text())["traceEvents"]
+        + json.loads(run_path.read_text())["traceEvents"]
+    )
+    assert len(merged["traceEvents"]) == len(source_events)
+    # Pid ranges are disjoint after the remap: the sweep's lanes and the
+    # run's virtual-time/profiler tracks render side by side.
+    sweep_pids = {
+        e["pid"] for e in merged["traceEvents"][: len(json.loads(
+            sweep_path.read_text())["traceEvents"])]
+    }
+    run_pids = {
+        e["pid"] for e in merged["traceEvents"][len(json.loads(
+            sweep_path.read_text())["traceEvents"]):]
+    }
+    assert sweep_pids.isdisjoint(run_pids)
+
+
+# ---------------------------------------------------------------------------
+# Post-hoc reconstruction (`repro report`).
+# ---------------------------------------------------------------------------
+
+
+def test_reconstruct_report_matches_live_counts(tmp_path):
+    specs = [make_spec(app, "hetero-lru", epochs=EPOCHS) for app in WORKLOADS]
+    journal = SweepJournal(tmp_path / "journal.jsonl")
+    rec = SweepRecorder()
+    run_specs(specs, journal=journal, fingerprint="fp", recorder=rec)
+    report = reconstruct_report(journal.load(), rec.registry.snapshot())
+    assert report["specs"] == 2
+    assert report["statuses"] == {"ok": 2}
+    assert report["sources"] == {"serial": 2}
+    assert report["executed_wall_sec"] > 0
+    assert len(report["slowest"]) == 2
+    assert report["cache"]["hits"] == 0  # no cache configured → no lookups
+    assert report["cache"]["misses"] == 0

@@ -195,8 +195,27 @@ def test_journal_skips_corrupt_lines_last_entry_wins(tmp_path):
         'not json at all\n'
         '{"key":"k","status":"failed","kind":"error","message":"m"}\n'
     )
-    entries = SweepJournal(path).load()
+    journal = SweepJournal(path)
+    with pytest.warns(RuntimeWarning, match="2 corrupt line"):
+        entries = journal.load()
     assert entries["k"]["kind"] == "error"
+    # The skip count is surfaced, not swallowed: the flight recorder
+    # turns it into sweep_journal_corrupt_lines_total.
+    assert journal.corrupt_lines_skipped == 2
+
+
+def test_journal_records_source_and_elapsed(tmp_path):
+    spec = tiny_spec()
+    journal = SweepJournal(tmp_path / "journal.jsonl")
+    journal.record(
+        spec, "fp",
+        parallel.SpecOutcome(
+            spec=spec, result="r", source="parallel", elapsed_sec=1.25
+        ),
+    )
+    entry = journal.load()[spec.cache_key("fp")]
+    assert entry["source"] == "parallel"
+    assert entry["elapsed_sec"] == pytest.approx(1.25)
 
 
 def test_journaled_deterministic_failure_is_reused(monkeypatch, tmp_path):
