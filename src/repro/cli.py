@@ -516,6 +516,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             progress=progress if want_progress else None,
             retries=args.retries,
             retry_backoff_sec=args.retry_backoff,
+            retry_jitter=args.retry_jitter,
             journal=journal,
             recorder=recorder,
         )
@@ -551,6 +552,61 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
     print(report.format_table(rows, title="sweep"))
+    return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    from repro.errors import ServeError
+    from repro.serve import ExperimentServer, ServeConfig
+    from repro.sim import parallel
+
+    root = args.cache_dir or os.environ.get(parallel.CACHE_DIR_ENV)
+    if not root:
+        print(
+            "repro serve: give --cache-dir (or set "
+            "$REPRO_SWEEP_CACHE_DIR); the daemon's job journal, sweep "
+            "journal, and result cache all live there",
+            file=sys.stderr,
+        )
+        return 2
+    config = ServeConfig(
+        root=root,
+        host=args.host,
+        port=args.port,
+        unix_socket=args.unix_socket,
+        workers=args.workers,
+        timeout_sec=args.timeout,
+        retries=args.retries,
+        max_crashes=args.max_crashes,
+        queue_limit=args.queue_limit,
+        client_limit=args.client_limit,
+    )
+    server = ExperimentServer(config)
+    try:
+        server.start()
+    except (ServeError, OSError) as exc:
+        print(f"repro serve: cannot start: {exc}", file=sys.stderr)
+        return 1
+    server.install_signal_handlers()
+    recovered = server.store.counts()
+    scheme = "unix:" if args.unix_socket else "http://"
+    print(
+        f"repro serve: listening on {scheme}{server.address} "
+        f"(root {root}, {config.workers} worker(s), mode "
+        f"{server.supervisor.mode})",
+        file=sys.stderr,
+    )
+    if recovered.get("queued"):
+        print(
+            f"repro serve: recovered {recovered['queued']} unfinished "
+            "job(s) from the journal",
+            file=sys.stderr,
+        )
+    # Block until SIGTERM/SIGINT drains the daemon; the scheduler
+    # thread calls stop() once in-flight work has finished.
+    while not server.wait(timeout_sec=1.0):
+        pass
+    print("repro serve: drained, exiting", file=sys.stderr)
     return 0
 
 
@@ -873,6 +929,13 @@ def build_parser() -> argparse.ArgumentParser:
         "round)",
     )
     sweep_parser.add_argument(
+        "--retry-jitter", type=float, default=0.0, metavar="FRAC",
+        help="stretch each retry backoff by up to FRAC (e.g. 0.5 = up "
+        "to +50%%), derived deterministically from the retried specs' "
+        "cache keys — desynchronizes sweeps sharing a cache directory "
+        "without giving up reproducibility",
+    )
+    sweep_parser.add_argument(
         "--resume", action="store_true",
         help="resume an interrupted sweep from its journal (kept in "
         "the cache directory): cached and journaled grid points are "
@@ -898,6 +961,57 @@ def build_parser() -> argparse.ArgumentParser:
         "needs a TTY, degrades to plain progress otherwise",
     )
     sweep_parser.set_defaults(func=cmd_sweep)
+
+    serve_parser = sub.add_parser(
+        "serve",
+        help="run the crash-tolerant experiment daemon over a cache "
+        "directory (jobs survive SIGKILL; SIGTERM drains gracefully)",
+    )
+    serve_parser.add_argument(
+        "--cache-dir", default=None,
+        help="state root: result cache, sweep journal, and job journal "
+        "(default: $REPRO_SWEEP_CACHE_DIR)",
+    )
+    serve_parser.add_argument(
+        "--host", default="127.0.0.1",
+        help="TCP bind address (default: loopback only)",
+    )
+    serve_parser.add_argument(
+        "--port", type=int, default=0,
+        help="TCP port (default: 0 = OS-assigned, printed on startup)",
+    )
+    serve_parser.add_argument(
+        "--unix-socket", default=None, metavar="PATH",
+        help="serve over an AF_UNIX socket at PATH instead of TCP",
+    )
+    serve_parser.add_argument(
+        "--workers", type=int, default=1,
+        help="supervised worker processes (crashed workers respawn; "
+        "results are bit-identical to `repro sweep` at any width)",
+    )
+    serve_parser.add_argument(
+        "--timeout", type=float, default=None,
+        help="per-spec wall-clock budget in seconds (SIGALRM in the "
+        "worker, like `repro sweep --timeout`)",
+    )
+    serve_parser.add_argument(
+        "--retries", type=int, default=1,
+        help="scheduler-side retries for timed-out specs",
+    )
+    serve_parser.add_argument(
+        "--max-crashes", type=int, default=2,
+        help="worker crashes before a spec is quarantined as poisoned",
+    )
+    serve_parser.add_argument(
+        "--queue-limit", type=int, default=16,
+        help="max jobs in flight before submissions get 429 + "
+        "Retry-After",
+    )
+    serve_parser.add_argument(
+        "--client-limit", type=int, default=4,
+        help="max queued jobs per client id (fairness cap)",
+    )
+    serve_parser.set_defaults(func=cmd_serve)
 
     report_parser = sub.add_parser(
         "report",

@@ -632,6 +632,7 @@ LAYER_RANKS = {
     "obs": 4,
     "sim": 5,
     "experiments": 6,
+    "serve": 7,
     "__init__": 7,
     "cli": 8,
     "__main__": 9,
@@ -813,9 +814,11 @@ class NumpyImportRule(Rule):
 
 #: Modules that may import the host-metrics plane.  The sweep recorder
 #: observes the harness (``sim/parallel.py`` hooks, ``cli.py``
-#: rendering); letting simulation or policy code import it would open a
-#: hole in the no-perturbation contract (metrics feeding results).
+#: rendering, the ``serve/`` daemon's scrape endpoint); letting
+#: simulation or policy code import it would open a hole in the
+#: no-perturbation contract (metrics feeding results).
 _METRICS_ALLOWED_SUFFIXES = ("sim/parallel.py", "cli.py")
+_METRICS_ALLOWED_PACKAGES = ("obs", "serve")
 _METRICS_MODULES = ("repro.obs.metrics", "repro.obs.flight")
 _METRICS_NAMES = frozenset(
     {
@@ -832,25 +835,25 @@ _METRICS_NAMES = frozenset(
 @register
 class MetricsConfinementRule(Rule):
     """Host metrics stay confined to the observability plane plus the
-    two harness modules that feed/render them (``sim/parallel.py``,
-    ``cli.py``).  A simulator or policy module importing the metrics
-    registry is one step from steering results with observations —
-    the exact hole the ``contract-obs-pure`` no-perturbation contract
-    exists to close."""
+    harness modules that feed/render them (``sim/parallel.py``,
+    ``cli.py``, the ``serve/`` daemon).  A simulator or policy module
+    importing the metrics registry is one step from steering results
+    with observations — the exact hole the ``contract-obs-pure``
+    no-perturbation contract exists to close."""
 
     rule_id = "metrics-confinement"
     rationale = (
         "the sweep metrics registry and flight recorder are harness "
-        "observation only; importing them outside obs/, sim/parallel.py "
-        "or cli.py risks observation steering simulation results"
+        "observation only; importing them outside obs/, serve/, "
+        "sim/parallel.py or cli.py risks observation steering "
+        "simulation results"
     )
 
     def check(self, ctx: FileContext) -> Iterator[Finding]:
         relpath = ctx.relpath.replace("\\", "/")
-        if (
-            "/obs/" in relpath
-            or relpath.startswith("obs/")
-            or relpath.endswith(_METRICS_ALLOWED_SUFFIXES)
+        if relpath.endswith(_METRICS_ALLOWED_SUFFIXES) or any(
+            f"/{pkg}/" in relpath or relpath.startswith(f"{pkg}/")
+            for pkg in _METRICS_ALLOWED_PACKAGES
         ):
             return
         for node in ast.walk(ctx.tree):
@@ -861,8 +864,8 @@ class MetricsConfinementRule(Rule):
                             ctx, node,
                             f"{alias.name} imported outside the "
                             "observability plane; metrics are harness "
-                            "observation (allowed: obs/, sim/parallel.py, "
-                            "cli.py)",
+                            "observation (allowed: obs/, serve/, "
+                            "sim/parallel.py, cli.py)",
                         )
                         break
             elif isinstance(node, ast.ImportFrom) and node.module is not None:
@@ -871,7 +874,7 @@ class MetricsConfinementRule(Rule):
                         ctx, node,
                         f"{node.module} imported outside the observability "
                         "plane; metrics are harness observation (allowed: "
-                        "obs/, sim/parallel.py, cli.py)",
+                        "obs/, serve/, sim/parallel.py, cli.py)",
                     )
                 elif node.module == "repro.obs":
                     confined = sorted(
@@ -884,9 +887,63 @@ class MetricsConfinementRule(Rule):
                             ctx, node,
                             f"{', '.join(confined)} imported outside the "
                             "observability plane; metrics are harness "
-                            "observation (allowed: obs/, sim/parallel.py, "
-                            "cli.py)",
+                            "observation (allowed: obs/, serve/, "
+                            "sim/parallel.py, cli.py)",
                         )
+
+
+#: Networking modules confined to the experiment service.  The daemon
+#: (``repro.serve``) is the one place the library opens sockets; a
+#: simulator, policy, or experiment module importing an HTTP stack
+#: would couple deterministic simulation code to wall-clock network
+#: I/O and widen the attack/test surface of every embedder.
+_SERVE_ONLY_MODULES = ("http", "socketserver")
+_SERVE_ALLOWED_PACKAGE = "serve"
+
+
+@register
+class ServeConfinementRule(Rule):
+    """``http``/``socketserver`` imports stay inside ``repro.serve``.
+    Everything below the service layer must import (and simulate) on a
+    machine with no network stack at all; the daemon is the single
+    module family allowed to speak HTTP."""
+
+    rule_id = "serve-confinement"
+    rationale = (
+        "the serve daemon is the library's only network surface; an "
+        "http/socketserver import elsewhere couples deterministic "
+        "simulation code to sockets and wall-clock I/O"
+    )
+
+    @staticmethod
+    def _confined(dotted: str) -> bool:
+        root = dotted.split(".", 1)[0]
+        return root in _SERVE_ONLY_MODULES
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if ctx.package == _SERVE_ALLOWED_PACKAGE:
+            return
+        for node in ast.walk(ctx.tree):
+            if ctx.in_type_checking_block(node):
+                continue
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if self._confined(alias.name):
+                        yield self.finding(
+                            ctx, node,
+                            f"import {alias.name}: networking imports are "
+                            "confined to repro.serve; route service work "
+                            "through the daemon",
+                        )
+                        break
+            elif isinstance(node, ast.ImportFrom) and node.module is not None:
+                if node.level == 0 and self._confined(node.module):
+                    yield self.finding(
+                        ctx, node,
+                        f"from {node.module} import ...: networking "
+                        "imports are confined to repro.serve; route "
+                        "service work through the daemon",
+                    )
 
 
 # ----------------------------------------------------------------------

@@ -56,6 +56,12 @@ class SweepError(ReproError):
     """Parallel/cached experiment execution failed (repro.sim.parallel)."""
 
 
+class ServeError(ReproError):
+    """Experiment-service misuse or failure (repro.serve): bad job
+    payloads, a client talking to a drained daemon, transport errors
+    surfaced by :class:`repro.serve.client.ServeClient`."""
+
+
 class ObservabilityError(ReproError):
     """Telemetry bus / sink / timeline misuse (repro.obs)."""
 

@@ -133,6 +133,7 @@ def sweep(
     progress: ProgressFn | None = None,
     retries: int = 0,
     retry_backoff_sec: float = 0.5,
+    retry_jitter: float = 0.0,
     journal: "SweepJournal | str | None" = None,
     recorder: "SweepRecorder | None" = None,
 ) -> list[dict]:
@@ -140,10 +141,10 @@ def sweep(
     over the same-platform baseline.
 
     ``max_workers``/``cache``/``timeout_sec``/``progress``/``retries``/
-    ``retry_backoff_sec``/``journal``/``recorder`` pass through to
-    :func:`repro.sim.parallel.run_specs`; the defaults (serial, no
-    cache, no retry, no journal, no recorder) reproduce the historical
-    behaviour exactly.  Any failed grid point raises
+    ``retry_backoff_sec``/``retry_jitter``/``journal``/``recorder``
+    pass through to :func:`repro.sim.parallel.run_specs`; the defaults
+    (serial, no cache, no retry, no jitter, no journal, no recorder)
+    reproduce the historical behaviour exactly.  Any failed grid point raises
     :class:`~repro.errors.SweepError` with the structured per-spec
     failures in its message.
     """
@@ -158,6 +159,7 @@ def sweep(
         progress=progress,
         retries=retries,
         retry_backoff_sec=retry_backoff_sec,
+        retry_jitter=retry_jitter,
         journal=journal,
         recorder=recorder,
     )

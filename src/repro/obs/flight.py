@@ -188,12 +188,19 @@ class SweepRecorder:
                 "store_failures": getattr(cache, "store_failures", 0),
             }
 
+    def instant(self, name: str, **args: object) -> None:
+        """Record a point-in-time event on the sweep's instant track.
+
+        The recorder's own hooks route through this; external harness
+        layers (the ``repro serve`` scheduler) may add their own marks —
+        job admissions, drains — so one Chrome trace shows the full
+        service timeline alongside the spec spans."""
+        self._instants.append((name, _now() - self._t0, dict(args)))
+
     def cache_hit(self, label: str) -> None:
         self.cache_hits += 1
         self._m_lookups.inc(result="hit")
-        self._instants.append(
-            ("cache-hit", _now() - self._t0, {"spec": label})
-        )
+        self.instant("cache-hit", spec=label)
 
     def cache_miss(self, label: str) -> None:
         self.cache_misses += 1
@@ -201,9 +208,7 @@ class SweepRecorder:
 
     def journal_reused(self, label: str) -> None:
         self._m_journal_reused.inc()
-        self._instants.append(
-            ("journal-reuse", _now() - self._t0, {"spec": label})
-        )
+        self.instant("journal-reuse", spec=label)
 
     def journal_corrupt_lines(self, count: int) -> None:
         if count > 0:
@@ -212,13 +217,7 @@ class SweepRecorder:
     def retry(self, label: str, kind: str, attempt: int) -> None:
         self.retries += 1
         self._m_retries.inc(kind=kind)
-        self._instants.append(
-            (
-                "retry",
-                _now() - self._t0,
-                {"spec": label, "kind": kind, "attempt": attempt},
-            )
-        )
+        self.instant("retry", spec=label, kind=kind, attempt=attempt)
 
     def outcome(
         self,

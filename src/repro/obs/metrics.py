@@ -44,11 +44,17 @@ __all__ = [
     "Histogram",
     "Metric",
     "MetricsRegistry",
+    "PROMETHEUS_CONTENT_TYPE",
     "snapshot_delta",
 ]
 
 #: Bumped whenever the snapshot JSON schema changes shape.
 METRICS_FORMAT_VERSION = 1
+
+#: The Content-Type a scrape endpoint must answer with for
+#: :meth:`MetricsRegistry.to_prometheus` payloads (text exposition
+#: format 0.0.4 — what ``repro serve`` mounts on ``/metrics``).
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
 
 #: Histogram bucket upper bounds (seconds) used when none are given —
 #: spans per-spec wall-clock from trivial cache-adjacent work to the

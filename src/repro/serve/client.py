@@ -1,0 +1,341 @@
+"""``ServeClient``: a well-behaved client for the experiment daemon.
+
+"Well-behaved" means the retry story is safe by construction:
+
+* **idempotent resubmission** — job ids are content-addressed
+  (client id + canonical specs + source fingerprint), so resubmitting
+  after a dropped connection or an ambiguous failure maps onto the
+  daemon's existing job instead of duplicating work.  The client may
+  therefore retry *blindly*.
+* **backoff with deterministic jitter** — 429/503 rejections and
+  transport errors back off exponentially; the daemon's ``Retry-After``
+  hint is honoured when present.  Jitter is derived from a SHA-256 over
+  the request payload and attempt number (the
+  :func:`repro.sim.parallel._retry_jitter_fraction` idiom), so a herd
+  of clients submitting *different* batches desynchronises while any
+  single run of the test suite stays reproducible — no ``random``
+  module, no clock-seeded state.
+* **bounded waiting** — :meth:`wait` rides the server-side long-poll
+  (``GET /jobs/<id>?wait=SEC``) instead of tight-polling, and every
+  wait budget is counted down from sleeps the client itself performed,
+  not wall-clock reads.
+
+Transport errors surface as :class:`~repro.errors.ServeError` — a
+client never leaks raw ``socket``/``http.client`` exceptions into
+harness code.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import socket
+import time
+from http.client import HTTPConnection, HTTPException
+from typing import List, Mapping, Optional, Sequence, Tuple
+
+from repro.errors import ServeError
+from repro.serve.wire import outcome_from_wire
+from repro.sim.parallel import ExperimentSpec, SpecOutcome
+
+__all__ = ["ServeClient"]
+
+#: Backoff growth cap: sleeps stop doubling after this many attempts
+#: (2**6 = 64x base), matching ``_sleep_backoff`` in the sweep layer.
+_MAX_BACKOFF_DOUBLINGS = 6
+
+#: Transport failures a retry can plausibly fix.
+_RETRYABLE_EXCS = (OSError, HTTPException)
+
+
+def _jitter_fraction(token: str, attempt: int) -> float:
+    """Deterministic jitter in [0, 1): hash of payload identity and
+    attempt number, same construction as the sweep layer's seeded
+    retry jitter."""
+    digest = hashlib.sha256(
+        f"{token}:{attempt}".encode("utf-8")
+    ).digest()
+    return int.from_bytes(digest[:8], "big") / float(1 << 64)
+
+
+class _UnixHTTPConnection(HTTPConnection):
+    """``http.client`` over an AF_UNIX socket path."""
+
+    def __init__(self, path: str, timeout: float) -> None:
+        super().__init__("localhost", timeout=timeout)
+        self._unix_path = path
+
+    def connect(self) -> None:
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        sock.settimeout(self.timeout)
+        sock.connect(self._unix_path)
+        self.sock = sock
+
+
+class ServeClient:
+    """Submit spec batches to a ``repro serve`` daemon and await results.
+
+    ``address`` is either ``"http://HOST:PORT"`` (loopback TCP) or
+    ``"unix:/path/to.sock"``.  One client instance is one logical
+    *client id* for the daemon's per-client fairness accounting.
+    """
+
+    def __init__(
+        self,
+        address: str,
+        client_id: str = "default",
+        max_attempts: int = 8,
+        backoff_sec: float = 0.05,
+        jitter: float = 0.5,
+        timeout_sec: float = 10.0,
+    ) -> None:
+        if max_attempts < 1:
+            raise ServeError(
+                f"max_attempts must be >= 1, got {max_attempts}"
+            )
+        self.address = address
+        self.client_id = client_id
+        self.max_attempts = int(max_attempts)
+        self.backoff_sec = float(backoff_sec)
+        self.jitter = float(jitter)
+        self.timeout_sec = float(timeout_sec)
+        if address.startswith("unix:"):
+            self._unix_path: "Optional[str]" = address[len("unix:"):]
+            self._host_port: "Optional[Tuple[str, int]]" = None
+        elif address.startswith("http://"):
+            rest = address[len("http://"):].rstrip("/")
+            host, _, port = rest.partition(":")
+            try:
+                self._host_port = (host, int(port))
+            except ValueError as exc:
+                raise ServeError(
+                    f"bad serve address {address!r}: expected "
+                    "http://HOST:PORT"
+                ) from exc
+            self._unix_path = None
+        else:
+            raise ServeError(
+                f"bad serve address {address!r}: expected http://HOST:PORT "
+                "or unix:/path"
+            )
+
+    # ------------------------------------------------------------------
+    # Transport
+    # ------------------------------------------------------------------
+
+    def _connection(self) -> HTTPConnection:
+        if self._unix_path is not None:
+            return _UnixHTTPConnection(
+                self._unix_path, timeout=self.timeout_sec
+            )
+        host, port = self._host_port
+        return HTTPConnection(host, port, timeout=self.timeout_sec)
+
+    def _request(
+        self,
+        method: str,
+        path: str,
+        body: "Optional[dict]" = None,
+    ) -> "Tuple[int, Mapping[str, str], bytes]":
+        """One HTTP exchange; raises :class:`ServeError` on transport
+        failure (the retry loops above decide whether to try again)."""
+        connection = self._connection()
+        try:
+            payload = (
+                json.dumps(body, sort_keys=True).encode("utf-8")
+                if body is not None
+                else None
+            )
+            headers = {}
+            if payload is not None:
+                headers["Content-Type"] = "application/json"
+            connection.request(method, path, body=payload, headers=headers)
+            response = connection.getresponse()
+            data = response.read()
+            return (
+                response.status,
+                {k.lower(): v for k, v in response.getheaders()},
+                data,
+            )
+        except _RETRYABLE_EXCS as exc:
+            raise ServeError(
+                f"serve request {method} {path} failed: {exc}"
+            ) from exc
+        finally:
+            connection.close()
+
+    @staticmethod
+    def _decode(data: bytes, context: str) -> dict:
+        try:
+            payload = json.loads(data.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError) as exc:
+            raise ServeError(
+                f"{context}: daemon answered non-JSON: {exc}"
+            ) from exc
+        if not isinstance(payload, dict):
+            raise ServeError(f"{context}: daemon answered a non-object")
+        return payload
+
+    def _sleep_before_retry(
+        self, token: str, attempt: int, retry_after: "Optional[float]"
+    ) -> float:
+        """Sleep per the backoff policy; returns the seconds slept (the
+        caller's wait-budget accounting)."""
+        if retry_after is not None and retry_after > 0:
+            delay = retry_after
+        else:
+            delay = self.backoff_sec * (
+                2 ** min(attempt - 1, _MAX_BACKOFF_DOUBLINGS)
+            )
+        if self.jitter > 0:
+            delay *= 1.0 + self.jitter * _jitter_fraction(token, attempt)
+        time.sleep(delay)
+        return delay
+
+    # ------------------------------------------------------------------
+    # API
+    # ------------------------------------------------------------------
+
+    def submit(self, specs: "Sequence[ExperimentSpec]") -> str:
+        """Submit one batch; returns the job id.
+
+        Retries 429 (honouring ``Retry-After``), 503-while-draining,
+        and transport errors with jittered exponential backoff.  Safe
+        to call repeatedly with the same batch: the daemon folds
+        resubmissions onto the existing job.
+        """
+        body = {
+            "client": self.client_id,
+            "specs": [spec.canonical() for spec in specs],
+        }
+        token = hashlib.sha256(
+            json.dumps(body, sort_keys=True).encode("utf-8")
+        ).hexdigest()
+        last_error: "Optional[str]" = None
+        for attempt in range(1, self.max_attempts + 1):
+            try:
+                status, headers, data = self._request(
+                    "POST", "/jobs", body
+                )
+            except ServeError as exc:
+                last_error = str(exc)
+                if attempt < self.max_attempts:
+                    self._sleep_before_retry(token, attempt, None)
+                continue
+            if status in (200, 202):
+                payload = self._decode(data, "submit")
+                job_id = payload.get("job")
+                if not isinstance(job_id, str):
+                    raise ServeError(
+                        "submit: daemon acknowledged without a job id"
+                    )
+                return job_id
+            if status in (429, 503):
+                payload = self._decode(data, "submit")
+                retry_after = None
+                header = headers.get("retry-after")
+                if header is not None:
+                    try:
+                        retry_after = float(header)
+                    except ValueError:
+                        retry_after = None
+                last_error = (
+                    f"HTTP {status}: {payload.get('error', 'rejected')}"
+                )
+                if attempt < self.max_attempts:
+                    self._sleep_before_retry(token, attempt, retry_after)
+                continue
+            payload = self._decode(data, "submit")
+            raise ServeError(
+                f"submit rejected (HTTP {status}): "
+                f"{payload.get('detail') or payload.get('error')}"
+            )
+        raise ServeError(
+            f"submit gave up after {self.max_attempts} attempt(s); "
+            f"last error: {last_error}"
+        )
+
+    def status(self, job_id: str, wait_sec: float = 0.0) -> dict:
+        """Job status payload; ``wait_sec`` long-polls server-side."""
+        path = f"/jobs/{job_id}"
+        if wait_sec > 0:
+            path += f"?wait={wait_sec:g}"
+        code, _, data = self._request("GET", path)
+        if code == 404:
+            raise ServeError(f"job {job_id} is unknown to the daemon")
+        if code != 200:
+            raise ServeError(f"job status failed with HTTP {code}")
+        return self._decode(data, "job status")
+
+    def wait(
+        self,
+        job_id: str,
+        timeout_sec: float = 60.0,
+        poll_sec: float = 2.0,
+    ) -> dict:
+        """Block until the job is done; returns its final payload.
+
+        The budget counts down from the long-poll windows and backoff
+        sleeps the client itself performed — no wall-clock reads, so
+        behaviour is reproducible under test.
+        """
+        budget = float(timeout_sec)
+        attempt = 0
+        while True:
+            window = max(0.1, min(poll_sec, budget))
+            try:
+                payload = self.status(job_id, wait_sec=window)
+                attempt = 0
+            except ServeError:
+                # Daemon momentarily unreachable (restart mid-wait):
+                # back off and re-ask — the job journal makes the job
+                # outlive the daemon process.
+                attempt += 1
+                if attempt >= self.max_attempts:
+                    raise
+                budget -= self._sleep_before_retry(job_id, attempt, None)
+                if budget <= 0:
+                    raise
+                continue
+            if payload.get("state") == "done":
+                return payload
+            budget -= window
+            if budget <= 0:
+                raise ServeError(
+                    f"job {job_id} did not finish within "
+                    f"{timeout_sec:g}s ({payload.get('resolved')}/"
+                    f"{payload.get('specs')} specs resolved)"
+                )
+
+    @staticmethod
+    def outcomes(payload: Mapping) -> "List[SpecOutcome]":
+        """Decode a done job's payload into ordered outcomes."""
+        entries = payload.get("outcomes")
+        if not isinstance(entries, list):
+            raise ServeError("job payload carries no outcomes")
+        ordered = sorted(
+            entries, key=lambda entry: entry.get("index", 0)
+        )
+        return [outcome_from_wire(entry) for entry in ordered]
+
+    def run(
+        self,
+        specs: "Sequence[ExperimentSpec]",
+        timeout_sec: float = 60.0,
+    ) -> "List[SpecOutcome]":
+        """Submit, wait, decode: the remote twin of ``run_specs``."""
+        job_id = self.submit(specs)
+        payload = self.wait(job_id, timeout_sec=timeout_sec)
+        return self.outcomes(payload)
+
+    def healthz(self) -> dict:
+        code, _, data = self._request("GET", "/healthz")
+        if code != 200:
+            raise ServeError(f"healthz failed with HTTP {code}")
+        return self._decode(data, "healthz")
+
+    def metrics_text(self) -> str:
+        code, _, data = self._request("GET", "/metrics")
+        if code != 200:
+            raise ServeError(f"metrics failed with HTTP {code}")
+        return data.decode("utf-8")

@@ -1,0 +1,137 @@
+"""Wire format: bit-exact ``SpecOutcome`` transport over JSON.
+
+The serving path's headline contract is *no perturbation*: a result
+fetched through the daemon must be field-by-field identical to the
+same spec run through :func:`~repro.sim.parallel.run_specs` directly.
+JSON alone cannot carry that guarantee (float round-tripping, dict
+key coercion, dataclass identity), so each successful outcome travels
+two ways at once:
+
+* ``result_b64`` — the pickled :class:`~repro.sim.stats.RunResult`,
+  base64-armoured inside the JSON body.  Decoding it reconstructs the
+  exact object the worker produced, which is what the equivalence and
+  crash-recovery tests compare bit-for-bit.
+* ``summary`` — a small JSON projection (runtime, headline metric) for
+  dashboards and non-Python clients that only need numbers.
+
+Trust model: the pickle is produced and consumed by the *same
+installation* talking over a loopback or unix socket — the daemon is
+infrastructure for the local sweep substrate, not an internet-facing
+API.  :func:`outcome_from_wire` still validates the decoded type
+before handing it to callers.
+
+Specs travel as their :meth:`~repro.sim.parallel.ExperimentSpec.canonical`
+form and are rebuilt with
+:func:`~repro.sim.parallel.spec_from_canonical`, so a round-tripped
+spec has an identical cache key — the property that makes resubmission
+idempotent end to end.
+"""
+
+from __future__ import annotations
+
+import base64
+import binascii
+import pickle
+from typing import Mapping
+
+from repro.errors import ServeError, SweepError
+from repro.sim.parallel import SpecFailure, SpecOutcome, spec_from_canonical
+from repro.sim.stats import RunResult
+
+__all__ = ["outcome_to_wire", "outcome_from_wire", "WIRE_VERSION"]
+
+#: Bumped whenever the outcome wire schema changes shape.
+WIRE_VERSION = 1
+
+
+def outcome_to_wire(outcome: SpecOutcome) -> dict:
+    """One resolved grid point as a JSON-safe dict."""
+    entry: dict = {
+        "v": WIRE_VERSION,
+        "spec": outcome.spec.canonical(),
+        "label": outcome.spec.label,
+        "status": "ok" if outcome.ok else "failed",
+        "source": outcome.source,
+        "elapsed_sec": outcome.elapsed_sec,
+    }
+    if outcome.ok:
+        entry["result_b64"] = base64.b64encode(
+            pickle.dumps(outcome.result, protocol=pickle.HIGHEST_PROTOCOL)
+        ).decode("ascii")
+        entry["summary"] = {
+            "workload": outcome.result.workload_name,
+            "policy": outcome.result.policy_name,
+            "metric": outcome.result.metric,
+            "metric_value": outcome.result.metric_value,
+            "runtime_sec": outcome.result.runtime_sec,
+        }
+    else:
+        entry["failure"] = {
+            "kind": outcome.error.kind,
+            "message": outcome.error.message,
+            "error_type": outcome.error.error_type,
+        }
+    return entry
+
+
+def outcome_from_wire(entry: Mapping) -> SpecOutcome:
+    """Rebuild a :class:`SpecOutcome` from its wire form.
+
+    Raises :class:`ServeError` on any malformed field — a client must
+    never silently accept a half-decoded result.
+    """
+    if not isinstance(entry, Mapping):
+        raise ServeError(
+            f"wire outcome must be a mapping, got {type(entry).__name__}"
+        )
+    if entry.get("v") != WIRE_VERSION:
+        raise ServeError(
+            f"wire outcome version {entry.get('v')!r} does not match "
+            f"this client ({WIRE_VERSION})"
+        )
+    try:
+        spec = spec_from_canonical(entry["spec"])
+    except (KeyError, SweepError) as exc:
+        raise ServeError(f"wire outcome carries a bad spec: {exc}") from exc
+    source = str(entry.get("source", "parallel"))
+    elapsed = float(entry.get("elapsed_sec", 0.0))
+    if entry.get("status") == "ok":
+        try:
+            payload = pickle.loads(
+                base64.b64decode(entry["result_b64"], validate=True)
+            )
+        except (
+            KeyError,
+            ValueError,
+            TypeError,
+            binascii.Error,
+            pickle.UnpicklingError,
+            EOFError,
+            AttributeError,
+            ImportError,
+        ) as exc:
+            raise ServeError(
+                f"wire outcome result failed to decode: {exc}"
+            ) from exc
+        if not isinstance(payload, RunResult):
+            raise ServeError(
+                "wire outcome result decoded to "
+                f"{type(payload).__name__}, expected RunResult"
+            )
+        return SpecOutcome(
+            spec=spec, result=payload, source=source, elapsed_sec=elapsed
+        )
+    failure = entry.get("failure")
+    if not isinstance(failure, Mapping):
+        raise ServeError("failed wire outcome is missing its failure")
+    error_type = failure.get("error_type")
+    return SpecOutcome(
+        spec=spec,
+        error=SpecFailure(
+            kind=str(failure.get("kind", "error")),
+            message=str(failure.get("message", "")),
+            error_type=str(error_type) if error_type is not None else None,
+        ),
+        source=source,
+        elapsed_sec=elapsed,
+    )

@@ -50,6 +50,11 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable, Iterable, Mapping, Optional, Sequence
 
+try:  # advisory file locking (POSIX); absent on some platforms
+    import fcntl
+except ImportError:  # pragma: no cover - exercised via monkeypatch
+    fcntl = None  # type: ignore[assignment]
+
 from repro.core.policy import make_policy
 from repro.errors import ReproError, SweepError
 from repro.faults import FaultPlan
@@ -77,6 +82,7 @@ __all__ = [
     "run_spec",
     "run_specs",
     "source_fingerprint",
+    "spec_from_canonical",
 ]
 
 #: Environment variable naming a shared on-disk result-cache directory
@@ -256,6 +262,131 @@ def make_spec(
         ),
         faults=faults,
     )
+
+
+def spec_from_canonical(data: Mapping) -> ExperimentSpec:
+    """Rebuild a spec from its :meth:`~ExperimentSpec.canonical` form.
+
+    The inverse of ``canonical()`` for JSON-safe specs: round-tripping
+    through ``json.dumps``/``loads`` (e.g. across the ``repro serve``
+    wire) reconstructs an equal spec with an identical cache key — the
+    property behind idempotent job resubmission.  Values inside
+    ``policy_args``/``hotness`` must be JSON scalars (they are for every
+    spec :func:`make_spec` normalizes from driver inputs).
+    """
+    if not isinstance(data, Mapping):
+        raise SweepError(
+            f"canonical spec must be a mapping, got {type(data).__name__}"
+        )
+    try:
+        app = data["app"]
+        policy = data["policy"]
+    except KeyError as exc:
+        raise SweepError(f"canonical spec missing field {exc}") from None
+    throttle = data.get("throttle")
+    policy_args = data.get("policy_args") or ()
+    hotness = data.get("hotness")
+    try:
+        return make_spec(
+            str(app),
+            str(policy),
+            fast_ratio=data.get("fast_ratio", 0.25),
+            epochs=data.get("epochs"),
+            slow_gib=data.get("slow_gib", 8.0),
+            throttle=tuple(throttle) if throttle is not None else None,
+            llc_mib=data.get("llc_mib", 16),
+            seed=data.get("seed", 7),
+            slow_device=data.get("slow_device"),
+            policy_args=[(str(k), v) for k, v in policy_args],
+            hotness=(
+                [(str(k), v) for k, v in hotness]
+                if hotness is not None
+                else None
+            ),
+            faults=data.get("faults"),
+        )
+    except (TypeError, ValueError) as exc:
+        raise SweepError(f"malformed canonical spec: {exc}") from exc
+
+
+# ----------------------------------------------------------------------
+# Advisory file locking (daemon + CLI sharing one cache directory)
+# ----------------------------------------------------------------------
+
+#: Warn-once state for lock degradation paths (parent-process only;
+#: never touched on the worker entry-point paths).
+_LOCK_WARNINGS = {"unavailable": False, "contention": False}
+
+
+class _FileLock:
+    """Advisory ``flock`` over ``<target>.lock``; degrades, never raises.
+
+    A ``repro serve`` daemon and a concurrent ``repro sweep`` pointed at
+    the same cache directory both append to the sweep journal; an
+    advisory lock keeps their lines from interleaving mid-write.  The
+    degradation ladder is: uncontended lock (fast path) → contended
+    lock blocks until the other writer finishes (the warn-once *serial*
+    path) → platform without ``fcntl`` or an unwritable lock file
+    proceeds unlocked with a warning (exactly the pre-lock behaviour).
+    """
+
+    def __init__(self, target: "str | Path") -> None:
+        target = Path(target)
+        self.path = target.with_name(target.name + ".lock")
+        self._handle = None
+
+    def __enter__(self) -> "_FileLock":
+        if fcntl is None:
+            self._warn_once(
+                "unavailable",
+                "advisory file locking is unavailable on this platform "
+                "(no fcntl); concurrent writers may interleave",
+            )
+            return self
+        try:
+            self._handle = open(self.path, "ab")
+        except OSError:
+            # The directory itself is unwritable; the write that follows
+            # will degrade through its own warn-once path.
+            return self
+        try:
+            fcntl.flock(self._handle.fileno(), fcntl.LOCK_EX | fcntl.LOCK_NB)
+        except OSError:
+            # Contention: another process holds the lock.  Block until
+            # it finishes — writers serialize instead of corrupting.
+            self._warn_once(
+                "contention",
+                f"lock {self.path} is contended (another sweep or a "
+                "serve daemon is writing); serializing writers",
+            )
+            try:
+                fcntl.flock(self._handle.fileno(), fcntl.LOCK_EX)
+            except OSError:
+                self._close()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        if self._handle is not None and fcntl is not None:
+            try:
+                fcntl.flock(self._handle.fileno(), fcntl.LOCK_UN)
+            except OSError:
+                pass
+        self._close()
+
+    def _close(self) -> None:
+        if self._handle is not None:
+            try:
+                self._handle.close()
+            except OSError:
+                pass
+            self._handle = None
+
+    @staticmethod
+    def _warn_once(key: str, message: str) -> None:
+        if _LOCK_WARNINGS.get(key):
+            return
+        _LOCK_WARNINGS[key] = True
+        warnings.warn(message, RuntimeWarning, stacklevel=4)
 
 
 def run_spec(
@@ -465,11 +596,17 @@ class ResultCache:
         tmp = path.with_suffix(f".tmp-{os.getpid()}")
         try:
             self.directory.mkdir(parents=True, exist_ok=True)
-            with open(tmp, "wb") as handle:
-                pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
-            os.replace(tmp, path)
-            if timeline is not None:
-                self._store_timeline(key, timeline)
+            # Advisory lock: a serve daemon and a concurrent sweep on
+            # the same cache directory serialize their writes to one
+            # key instead of racing replace + sidecar pairs.
+            with _FileLock(self.directory / ".cache"):
+                with open(tmp, "wb") as handle:
+                    pickle.dump(
+                        payload, handle, protocol=pickle.HIGHEST_PROTOCOL
+                    )
+                os.replace(tmp, path)
+                if timeline is not None:
+                    self._store_timeline(key, timeline)
         except (OSError, pickle.PicklingError) as exc:
             # Cache-miss-and-warn degradation: a read-only or full cache
             # directory slows the next sweep down but never fails this
@@ -687,13 +824,18 @@ class SweepJournal:
                 entry["error_type"] = outcome.error.error_type
         try:
             self.path.parent.mkdir(parents=True, exist_ok=True)
-            with open(self.path, "a", encoding="utf-8") as handle:
-                handle.write(
-                    json.dumps(entry, sort_keys=True, separators=(",", ":"))
-                    + "\n"
-                )
-                handle.flush()
-                os.fsync(handle.fileno())
+            # Advisory lock so a daemon and a concurrent `repro sweep`
+            # appending to the same journal cannot interleave lines.
+            with _FileLock(self.path):
+                with open(self.path, "a", encoding="utf-8") as handle:
+                    handle.write(
+                        json.dumps(
+                            entry, sort_keys=True, separators=(",", ":")
+                        )
+                        + "\n"
+                    )
+                    handle.flush()
+                    os.fsync(handle.fileno())
         except OSError:
             pass
 
@@ -757,7 +899,19 @@ def _run_one(
     """
     start = _wall_sec()
     use_alarm = timeout_sec is not None and _timeout_supported()
+    if timeout_sec is not None and not use_alarm:
+        # Graceful fallback: a worker on a non-main thread (the serve
+        # supervisor's serial path) or a platform without SIGALRM runs
+        # without a timeout rather than crashing.  warnings' per-location
+        # registry dedups this to once per process.
+        warnings.warn(
+            f"per-spec timeout ({timeout_sec:g}s) unavailable here "
+            "(SIGALRM needs the main thread); running without a timeout",
+            RuntimeWarning,
+            stacklevel=2,
+        )
     previous = None
+    previous_timer = (0.0, 0.0)
     if use_alarm:
         def _on_alarm(signum, frame):
             raise _SpecTimeout(
@@ -765,7 +919,7 @@ def _run_one(
             )
 
         previous = signal.signal(signal.SIGALRM, _on_alarm)
-        signal.setitimer(signal.ITIMER_REAL, timeout_sec)
+        previous_timer = signal.setitimer(signal.ITIMER_REAL, timeout_sec)
     try:
         telemetry = Telemetry() if capture_timeline else None
         result = run_spec(spec, telemetry=telemetry)
@@ -787,6 +941,17 @@ def _run_one(
                 signal.SIGALRM,
                 previous if previous is not None else signal.SIG_DFL,
             )
+            # A pre-existing alarm (an embedder's watchdog) is re-armed
+            # with whatever budget it had left, floored at a tick so it
+            # still fires even if our spec consumed the remainder.
+            remaining, interval = previous_timer
+            if remaining > 0.0:
+                elapsed = _wall_sec() - start
+                signal.setitimer(
+                    signal.ITIMER_REAL,
+                    max(remaining - elapsed, 1e-6),
+                    interval,
+                )
 
 
 def _run_chunk(
@@ -851,6 +1016,23 @@ def _sleep_backoff(base_sec: float, attempt: int) -> None:
         time.sleep(delay)
 
 
+def _retry_jitter_fraction(
+    specs: "Sequence[ExperimentSpec]", fingerprint: str, attempt: int
+) -> float:
+    """Deterministic jitter fraction in ``[0, 1)`` for one retry round.
+
+    Keyed off the retrying specs' cache keys (plus the attempt number),
+    so a retried sweep reproduces its own backoff schedule bit-for-bit
+    while distinct sweeps sharing a cache directory spread their retries
+    instead of thundering-herding it.  No RNG: pure sha256.
+    """
+    digest = hashlib.sha256()
+    for key in sorted(spec.cache_key(fingerprint) for spec in specs):
+        digest.update(key.encode("ascii"))
+    digest.update(str(attempt).encode("ascii"))
+    return int.from_bytes(digest.digest()[:8], "big") / float(2 ** 64)
+
+
 def run_specs(
     specs: "Iterable[ExperimentSpec]",
     max_workers: "int | None" = 1,
@@ -862,6 +1044,7 @@ def run_specs(
     capture_timelines: bool = False,
     retries: int = 0,
     retry_backoff_sec: float = 0.5,
+    retry_jitter: float = 0.0,
     journal: "SweepJournal | str | Path | None" = None,
     recorder: "SweepRecorder | None" = None,
 ) -> "list[SpecOutcome]":
@@ -882,8 +1065,12 @@ def run_specs(
     of failing; transient failures — timeouts and worker crashes, never
     deterministic simulation errors — are retried up to ``retries``
     times with exponential backoff (``retry_backoff_sec`` doubling per
-    round); and a ``journal`` checkpoints every executed spec so an
-    interrupted sweep can resume, skipping completed work.
+    round, stretched by up to ``retry_jitter`` as a fraction —
+    deterministically seeded from the retrying specs' cache keys, so
+    backoff stays reproducible while concurrent sweeps sharing a cache
+    directory de-synchronize instead of thundering-herding it); and a
+    ``journal`` checkpoints every executed spec so an interrupted sweep
+    can resume, skipping completed work.
 
     ``capture_timelines`` attaches an in-memory telemetry bus to every
     simulated spec so each ``RunResult`` carries its per-epoch timeline.
@@ -1161,7 +1348,12 @@ def run_specs(
         if not retryable:
             break
         attempt += 1
-        _sleep_backoff(retry_backoff_sec, attempt)
+        stretch = 1.0
+        if retry_jitter > 0:
+            stretch += retry_jitter * _retry_jitter_fraction(
+                retryable, fingerprint or "", attempt
+            )
+        _sleep_backoff(retry_backoff_sec * stretch, attempt)
         to_run = retryable
     if recorder is not None:
         recorder.sweep_finished(cache=resolved_cache)

@@ -236,3 +236,36 @@ def test_cli_report_missing_journal_file(tmp_path, capsys):
     code = main(["report", "--journal", str(tmp_path / "nope.jsonl")])
     assert code == 1
     assert "no journal" in capsys.readouterr().err
+
+
+def test_cli_sweep_accepts_retry_jitter(tmp_path, capsys):
+    code = main(
+        [
+            "sweep", "--apps", "redis", "--policies", "hetero-lru",
+            "--epochs", "2", "--quiet", "--no-cache",
+            "--retries", "1", "--retry-jitter", "0.5",
+        ]
+    )
+    assert code == 0
+    assert "hetero-lru" in capsys.readouterr().out
+
+
+def test_cli_serve_parser_defaults():
+    args = build_parser().parse_args(
+        ["serve", "--cache-dir", "/tmp/x", "--port", "8123"]
+    )
+    assert args.cache_dir == "/tmp/x"
+    assert args.port == 8123
+    assert args.host == "127.0.0.1"
+    assert args.workers == 1
+    assert args.queue_limit == 16
+    assert args.client_limit == 4
+    assert args.max_crashes == 2
+    assert args.retries == 1
+    assert args.unix_socket is None
+
+
+def test_cli_serve_without_root_is_usage_error(monkeypatch, capsys):
+    monkeypatch.delenv("REPRO_SWEEP_CACHE_DIR", raising=False)
+    assert main(["serve"]) == 2
+    assert "--cache-dir" in capsys.readouterr().err

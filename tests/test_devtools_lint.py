@@ -442,6 +442,57 @@ def test_metrics_confinement_does_not_mistake_jobs_for_obs():
     assert len(hits) == 1  # "jobs/" is not "obs/"
 
 
+def test_metrics_confinement_allows_serve_package():
+    # The daemon mounts the registry on /metrics and labels its own
+    # serve-side series; the whole package is part of the metrics plane.
+    src = "from repro.obs.metrics import MetricsRegistry\n"
+    for relpath in (
+        "src/repro/serve/server.py",
+        "src/repro/serve/__init__.py",
+    ):
+        assert not rule_hits(
+            src, relpath=relpath, rule_id="metrics-confinement"
+        ), relpath
+
+
+# ----------------------------------------------------------------------
+# serve-confinement
+# ----------------------------------------------------------------------
+
+
+def test_serve_confinement_flags_http_outside_serve():
+    src = (
+        "import http.server\n"
+        "import socketserver\n"
+        "from http.server import BaseHTTPRequestHandler\n"
+    )
+    hits = rule_hits(
+        src, relpath="src/repro/sim/parallel.py",
+        rule_id="serve-confinement",
+    )
+    assert [f.line for f in hits] == [1, 2, 3]
+
+
+def test_serve_confinement_allows_serve_package():
+    src = (
+        "import socketserver\n"
+        "from http.server import ThreadingHTTPServer\n"
+    )
+    assert not rule_hits(
+        src, relpath="src/repro/serve/server.py",
+        rule_id="serve-confinement",
+    )
+
+
+def test_serve_confinement_ignores_http_client_lookalikes():
+    # Only the server-side stdlib modules are confined; generic net
+    # modules and a local package named "httputil" are fair game.
+    src = "import httputil\nimport json\n"
+    assert not rule_hits(
+        src, relpath="src/repro/cli.py", rule_id="serve-confinement"
+    )
+
+
 # ----------------------------------------------------------------------
 # Suppressions
 # ----------------------------------------------------------------------

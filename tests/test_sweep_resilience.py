@@ -318,3 +318,209 @@ def test_store_failure_warns_once_not_raises(tmp_path):
         warnings_module.simplefilter("error")
         cache.store(spec, "fp", result)  # warned once already: silent
     assert cache.lookup(spec, "fp") is None  # plain miss, no raise
+
+
+# ----------------------------------------------------------------------
+# Advisory file locking (daemon + CLI sharing one cache directory)
+# ----------------------------------------------------------------------
+
+
+def _reset_lock_warnings():
+    for key in parallel._LOCK_WARNINGS:
+        parallel._LOCK_WARNINGS[key] = False
+
+
+def test_file_lock_uncontended_acquires_and_releases(tmp_path):
+    target = tmp_path / "journal.jsonl"
+    import warnings as warnings_module
+
+    with warnings_module.catch_warnings():
+        warnings_module.simplefilter("error")
+        with parallel._FileLock(target) as lock:
+            assert lock.path.name == "journal.jsonl.lock"
+            assert lock.path.exists()
+        # Released: a second uncontended acquisition succeeds silently.
+        with parallel._FileLock(target):
+            pass
+
+
+def test_file_lock_contention_blocks_and_warns_once(tmp_path, monkeypatch):
+    _reset_lock_warnings()
+    calls = []
+
+    class FakeFcntl:
+        LOCK_EX = 2
+        LOCK_NB = 4
+        LOCK_UN = 8
+
+        @staticmethod
+        def flock(fd, flags):
+            calls.append(flags)
+            if flags == FakeFcntl.LOCK_EX | FakeFcntl.LOCK_NB:
+                raise OSError(11, "would block")  # another writer holds it
+
+    monkeypatch.setattr(parallel, "fcntl", FakeFcntl)
+    target = tmp_path / "journal.jsonl"
+    with pytest.warns(RuntimeWarning, match="contended"):
+        with parallel._FileLock(target):
+            pass
+    # Degradation ladder: NB attempt failed, then a blocking acquire.
+    assert calls[0] == FakeFcntl.LOCK_EX | FakeFcntl.LOCK_NB
+    assert calls[1] == FakeFcntl.LOCK_EX
+    # Warn-once: the second contended acquisition is silent.
+    import warnings as warnings_module
+
+    with warnings_module.catch_warnings():
+        warnings_module.simplefilter("error")
+        with parallel._FileLock(target):
+            pass
+    _reset_lock_warnings()
+
+
+def test_file_lock_without_fcntl_proceeds_unlocked(tmp_path, monkeypatch):
+    _reset_lock_warnings()
+    monkeypatch.setattr(parallel, "fcntl", None)
+    with pytest.warns(RuntimeWarning, match="unavailable"):
+        with parallel._FileLock(tmp_path / "journal.jsonl"):
+            pass
+    _reset_lock_warnings()
+
+
+def test_journal_record_survives_concurrent_writers(tmp_path):
+    # Two journals on one path (a daemon and a CLI sweep) interleave
+    # whole lines, never fragments: every record loads back.
+    path = tmp_path / "journal.jsonl"
+    journals = [SweepJournal(path), SweepJournal(path)]
+    specs = [tiny_spec(), tiny_spec("hetero-coordinated")]
+    outcome = run_specs([specs[0]])[0]
+    for i in range(8):
+        journals[i % 2].record(specs[i % 2], f"fp{i}", outcome)
+    entries = SweepJournal(path).load()
+    assert len(entries) == 8
+    assert SweepJournal(path).corrupt_lines_skipped == 0
+
+
+# ----------------------------------------------------------------------
+# Deterministic retry jitter
+# ----------------------------------------------------------------------
+
+
+def test_retry_jitter_fraction_is_deterministic_and_bounded():
+    specs = [tiny_spec(), tiny_spec("hetero-coordinated")]
+    first = parallel._retry_jitter_fraction(specs, "fp", 1)
+    again = parallel._retry_jitter_fraction(specs, "fp", 1)
+    assert first == again
+    assert 0.0 <= first < 1.0
+    # Attempt number and spec identity both perturb the fraction.
+    assert parallel._retry_jitter_fraction(specs, "fp", 2) != first
+    assert parallel._retry_jitter_fraction(specs[:1], "fp", 1) != first
+
+
+def test_retry_jitter_stretches_backoff_reproducibly(monkeypatch):
+    monkeypatch.setattr(
+        parallel, "_run_one",
+        lambda spec, t, c=False: ("timeout", "injected", 0.0),
+    )
+
+    def observed_delays():
+        delays = []
+        monkeypatch.setattr(
+            parallel, "_sleep_backoff",
+            lambda base, attempt: delays.append(base),
+        )
+        run_specs(
+            [tiny_spec()], retries=2, retry_backoff_sec=1.0,
+            retry_jitter=0.5,
+        )
+        return delays
+
+    first = observed_delays()
+    assert len(first) == 2
+    # Stretched into (base, base * 1.5], never shrunk below base.
+    assert all(1.0 < delay <= 1.5 for delay in first)
+    assert first != [first[0]] * 2  # attempts jitter independently
+    assert observed_delays() == first  # bit-for-bit reproducible
+
+
+def test_zero_jitter_reproduces_plain_backoff(monkeypatch):
+    monkeypatch.setattr(
+        parallel, "_run_one",
+        lambda spec, t, c=False: ("timeout", "injected", 0.0),
+    )
+    delays = []
+    monkeypatch.setattr(
+        parallel, "_sleep_backoff",
+        lambda base, attempt: delays.append(base),
+    )
+    run_specs([tiny_spec()], retries=2, retry_backoff_sec=1.0)
+    assert delays == [1.0, 1.0]  # exponentiation happens inside the sleep
+
+
+# ----------------------------------------------------------------------
+# SIGALRM hardening
+# ----------------------------------------------------------------------
+
+
+def _has_alarm():
+    import signal
+
+    return hasattr(signal, "SIGALRM")
+
+
+@pytest.mark.skipif(not _has_alarm(), reason="platform lacks SIGALRM")
+def test_run_one_restores_preexisting_alarm_and_handler():
+    import signal
+
+    fired = []
+
+    def watchdog(signum, frame):
+        fired.append(signum)
+
+    previous = signal.signal(signal.SIGALRM, watchdog)
+    signal.setitimer(signal.ITIMER_REAL, 60.0)
+    try:
+        status = parallel._run_one(tiny_spec(), timeout_sec=30.0)
+        assert status[0] == "ok"
+        # Our handler and a positive remaining budget both came back.
+        assert signal.getsignal(signal.SIGALRM) is watchdog
+        remaining, _ = signal.getitimer(signal.ITIMER_REAL)
+        assert 0.0 < remaining <= 60.0
+        assert not fired
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+@pytest.mark.skipif(not _has_alarm(), reason="platform lacks SIGALRM")
+def test_run_one_clears_alarm_when_none_preexisted():
+    import signal
+
+    previous = signal.getsignal(signal.SIGALRM)
+    status = parallel._run_one(tiny_spec(), timeout_sec=30.0)
+    assert status[0] == "ok"
+    remaining, _ = signal.getitimer(signal.ITIMER_REAL)
+    assert remaining == 0.0
+    assert signal.getsignal(signal.SIGALRM) is previous
+
+
+def test_run_one_timeout_off_main_thread_warns_and_runs():
+    import threading
+    import warnings as warnings_module
+
+    collected = {}
+
+    def target():
+        with warnings_module.catch_warnings(record=True) as caught:
+            warnings_module.simplefilter("always")
+            collected["status"] = parallel._run_one(
+                tiny_spec(), timeout_sec=5.0
+            )
+            collected["warnings"] = [str(w.message) for w in caught]
+
+    thread = threading.Thread(target=target)
+    thread.start()
+    thread.join(timeout=60)
+    assert collected["status"][0] == "ok"
+    assert any(
+        "without a timeout" in message for message in collected["warnings"]
+    )
